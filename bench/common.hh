@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared harness code for the per-figure/table bench binaries.
+ *
+ * Each binary regenerates one table or figure of the paper. Full
+ * 13-mechanism x 26-benchmark sweeps are expensive, so finished
+ * matrices are cached on disk (build/bench_cache by default) keyed by
+ * an experiment tag; binaries that need the same matrix (Figure 4,
+ * Figure 5, Tables 6/7, Figures 6/7) share one sweep.
+ */
+
+#ifndef MICROLIB_BENCH_COMMON_HH
+#define MICROLIB_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/ranking.hh"
+#include "sim/report.hh"
+
+namespace microlib::bench
+{
+
+/** All 26 benchmarks (or a 8-benchmark subset when MICROLIB_QUICK=1,
+ *  for smoke runs). */
+std::vector<std::string> benchmarkSet();
+
+/** "Base" + all twelve mechanisms. */
+std::vector<std::string> mechanismSet();
+
+/**
+ * Load the matrix for @p tag from the cache, or run it and store it.
+ * The cached file stores IPCs plus the full per-run stat snapshots.
+ */
+MatrixResult loadOrRun(const std::string &tag,
+                       const std::vector<std::string> &mechanisms,
+                       const std::vector<std::string> &benchmarks,
+                       const RunConfig &cfg);
+
+/** Benchmark indices of @p names inside @p matrix. */
+std::vector<std::size_t> indicesOf(const MatrixResult &matrix,
+                                   const std::vector<std::string> &names);
+
+/** Print a per-mechanism average-speedup ranking table. */
+void printRanking(const std::string &title, const MatrixResult &matrix,
+                  const std::vector<std::size_t> &subset = {});
+
+/** Directory used for cached matrices. */
+std::string cacheDir();
+
+} // namespace microlib::bench
+
+#endif // MICROLIB_BENCH_COMMON_HH

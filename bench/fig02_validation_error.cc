@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 2 — Validation of TK, TCP and TKVC against the articles.
+ *
+ * Paper claim: reverse-engineered implementations differ from the
+ * article graphs by ~5% average relative speedup error, with sign
+ * flips on individual benchmarks (gcc, gzip under TK).
+ *
+ * The original bar graphs are not machine-readable here, so the
+ * author-confirmed builds (post-contact configuration) stand in for
+ * the article numbers, and the second-guessed initial builds play
+ * the reverse-engineered implementations — the documented wrong
+ * guesses are exactly the ones the paper describes (Section 2.2,
+ * 3.4). Validation setup: "skip, simulate" trace and the 70-cycle
+ * SimpleScalar memory, as in the paper's Section 2.2.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Figure 2: validation of TK, TCP, TKVC",
+        "reverse-engineered builds are ~5% off the article builds on "
+        "average, with per-benchmark sign flips");
+
+    const auto benchs = benchmarkSet();
+    const std::vector<std::string> mechs = {"TK", "TCP", "TKVC"};
+
+    RunConfig confirmed;
+    confirmed.system = makeConstantMemoryBaseline(70);
+    confirmed.selection = TraceSelection::Arbitrary;
+
+    RunConfig guessed = confirmed;
+    guessed.mech.second_guess = true;
+
+    Table t("Relative speedup error vs article (confirmed) build, %");
+    auto header = std::vector<std::string>{"benchmark"};
+    for (const auto &m : mechs)
+        header.push_back(m);
+    t.header(header);
+
+    std::vector<double> err_sum(mechs.size(), 0.0);
+    std::vector<unsigned> sign_flips(mechs.size(), 0);
+
+    for (const auto &bench : benchs) {
+        const MaterializedTrace trace = materializeFor(bench, confirmed);
+        const double base_ipc = runOne(trace, "Base", confirmed).ipc();
+
+        std::vector<std::string> row = {bench};
+        for (std::size_t m = 0; m < mechs.size(); ++m) {
+            const double article =
+                runOne(trace, mechs[m], confirmed).ipc() / base_ipc;
+            const double ours =
+                runOne(trace, mechs[m], guessed).ipc() / base_ipc;
+            const double err = 100.0 * (ours - article) / article;
+            err_sum[m] += std::abs(err);
+            if ((article - 1.0) * (ours - 1.0) < 0)
+                ++sign_flips[m];
+            row.push_back(Table::num(err, 2));
+        }
+        t.row(row);
+    }
+
+    std::vector<std::string> avg = {"AVG |err|"};
+    for (std::size_t m = 0; m < mechs.size(); ++m)
+        avg.push_back(Table::num(
+            err_sum[m] / static_cast<double>(benchs.size()), 2));
+    t.row(avg);
+    t.print(std::cout);
+
+    std::cout << "\nSpeedup/slowdown sign flips:";
+    for (std::size_t m = 0; m < mechs.size(); ++m)
+        std::cout << " " << mechs[m] << "=" << sign_flips[m];
+    std::cout << "\nPaper: average error ~5%, flips observed (e.g. "
+                 "gcc/gzip for TK).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 3 — Fixing the DBCP reverse-engineered implementation.
+ *
+ * Paper claim: the initial DBCP build (wrong benchmark ISA aside:
+ * missing PC pre-hash, half-size correlation table, no confidence
+ * decrement) differs from the fixed build by 38% average speedup;
+ * interestingly the TK authors' own reverse-engineered DBCP matched
+ * the *initial* (wrong) build.
+ *
+ * Validation setup, as in the paper: arbitrary trace window and
+ * 70-cycle constant memory.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Figure 3: fixing the DBCP implementation",
+        "initial (second-guessed) vs fixed DBCP differ substantially "
+        "in average speedup (paper: 38%)");
+
+    const auto benchs = benchmarkSet();
+
+    RunConfig fixed_cfg;
+    fixed_cfg.system = makeConstantMemoryBaseline(70);
+    fixed_cfg.selection = TraceSelection::Arbitrary;
+
+    RunConfig initial_cfg = fixed_cfg;
+    initial_cfg.mech.second_guess = true;
+
+    Table t("DBCP speedup: initial vs fixed build");
+    t.header({"benchmark", "initial", "fixed", "delta %"});
+
+    double avg_initial = 0.0, avg_fixed = 0.0, avg_delta = 0.0;
+    for (const auto &bench : benchs) {
+        const MaterializedTrace trace =
+            materializeFor(bench, fixed_cfg);
+        const double base = runOne(trace, "Base", fixed_cfg).ipc();
+        const double init =
+            runOne(trace, "DBCP", initial_cfg).ipc() / base;
+        const double fixd =
+            runOne(trace, "DBCP", fixed_cfg).ipc() / base;
+        avg_initial += init;
+        avg_fixed += fixd;
+        avg_delta += 100.0 * std::abs(fixd - init) / init;
+        t.row({bench, Table::num(init, 4), Table::num(fixd, 4),
+               Table::num(100.0 * (fixd - init) / init, 2)});
+    }
+    const double n = static_cast<double>(benchs.size());
+    t.row({"AVG", Table::num(avg_initial / n, 4),
+           Table::num(avg_fixed / n, 4), Table::num(avg_delta / n, 2)});
+    t.print(std::cout);
+
+    std::cout << "\nPaper: fixed build clearly stronger (their fixed "
+                 "DBCP outperformed their TK by 32% after the fix).\n";
+    return 0;
+}

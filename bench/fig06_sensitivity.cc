@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 6 — Benchmark sensitivity to data-cache mechanisms.
+ *
+ * Paper claim: sensitivity varies enormously; wupwise, bzip2,
+ * crafty, eon, perlbmk and vortex are barely sensitive, while apsi,
+ * equake, fma3d, mgrid, swim and gap respond strongly and therefore
+ * dominate any assessment of research ideas.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common.hh"
+#include "core/selections.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Figure 6: benchmark sensitivity",
+        "mechanism-induced speedup spread varies strongly across "
+        "benchmarks; a small set dominates every comparison");
+
+    RunConfig cfg;
+    const MatrixResult matrix =
+        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+                  cfg);
+
+    const std::vector<double> sens = benchmarkSensitivity(matrix);
+
+    std::vector<std::size_t> order(matrix.benchmarks.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return sens[a] > sens[b];
+              });
+
+    Table t("Speedup spread (max - min over mechanisms), descending");
+    t.header({"benchmark", "spread", "paper class"});
+    for (const auto b : order) {
+        std::string cls = "-";
+        for (const auto &n : highSensitivitySelection())
+            if (n == matrix.benchmarks[b])
+                cls = "high (paper)";
+        for (const auto &n : lowSensitivitySelection())
+            if (n == matrix.benchmarks[b])
+                cls = "low (paper)";
+        t.row({matrix.benchmarks[b], Table::num(sens[b], 4), cls});
+    }
+    t.print(std::cout);
+
+    // Agreement check: how many of the paper's high-sensitivity six
+    // land in our top half, and lows in the bottom half?
+    const std::size_t half = matrix.benchmarks.size() / 2;
+    unsigned high_ok = 0, low_ok = 0;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const std::string &name = matrix.benchmarks[order[pos]];
+        for (const auto &n : highSensitivitySelection())
+            if (n == name && pos < half)
+                ++high_ok;
+        for (const auto &n : lowSensitivitySelection())
+            if (n == name && pos >= half)
+                ++low_ok;
+    }
+    std::cout << "\nAgreement with the paper's classification: "
+              << high_ok << "/6 high-sensitivity in top half, "
+              << low_ok << "/6 low-sensitivity in bottom half.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7 — Speedups on high- and low-sensitivity benchmark sets.
+ *
+ * Paper claim: both absolute performance and the mechanism ranking
+ * are severely affected by restricting the comparison to the six
+ * most or six least sensitive benchmarks.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/selections.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Figure 7: high- vs low-sensitivity selections",
+        "restricting to the 6 most / least sensitive benchmarks "
+        "changes absolute speedups and the ranking");
+
+    RunConfig cfg;
+    const MatrixResult matrix =
+        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+                  cfg);
+
+    const auto high = indicesOf(matrix, highSensitivitySelection());
+    const auto low = indicesOf(matrix, lowSensitivitySelection());
+
+    printRanking("All benchmarks", matrix);
+    printRanking("High-sensitivity six", matrix, high);
+    printRanking("Low-sensitivity six", matrix, low);
+
+    // Rank shifts overview.
+    const auto all_rank = rankMechanisms(matrix);
+    const auto high_rank = rankMechanisms(matrix, high);
+    const auto low_rank = rankMechanisms(matrix, low);
+
+    Table shifts("Rank per selection");
+    shifts.header({"mechanism", "all", "high-6", "low-6"});
+    for (const auto &name : matrix.mechanisms)
+        shifts.row({name, std::to_string(rankOf(all_rank, name)),
+                    std::to_string(rankOf(high_rank, name)),
+                    std::to_string(rankOf(low_rank, name))});
+    shifts.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10 — Effect of second-guessing undocumented choices:
+ * TCP's prefetch request buffer, 1 entry vs 128 entries.
+ *
+ * Paper claims: the TCP article never specifies how prefetch
+ * requests are buffered. The choice is a trade-off: with 1 entry
+ * most prefetches are discarded, with 128 pending prefetches seize
+ * the bus and delay demand misses. Differences are tiny on crafty
+ * and eon and dramatic on lucas, mgrid and art; lucas *degrades*
+ * with the large buffer.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Figure 10: TCP prefetch buffer second-guessing",
+        "1-entry vs 128-entry prefetch buffers swing individual "
+        "benchmarks dramatically (lucas, mgrid, art) and leave "
+        "others untouched (crafty, eon)");
+
+    const auto benchs = benchmarkSet();
+
+    RunConfig big;
+    big.mech.tcp_buffer = 128;
+    RunConfig small = big;
+    small.mech.tcp_buffer = 1;
+
+    Table t("TCP speedup per prefetch buffer size");
+    t.header({"benchmark", "buffer=1", "buffer=128", "delta %"});
+
+    double avg1 = 0.0, avg128 = 0.0;
+    for (const auto &bench : benchs) {
+        const MaterializedTrace trace = materializeFor(bench, big);
+        const double base = runOne(trace, "Base", big).ipc();
+        const double s1 = runOne(trace, "TCP", small).ipc() / base;
+        const double s128 = runOne(trace, "TCP", big).ipc() / base;
+        avg1 += s1;
+        avg128 += s128;
+        t.row({bench, Table::num(s1, 4), Table::num(s128, 4),
+               Table::num(100.0 * (s128 - s1) / s1, 2)});
+    }
+    const double n = static_cast<double>(benchs.size());
+    t.row({"AVG", Table::num(avg1 / n, 4), Table::num(avg128 / n, 4),
+           ""});
+    t.print(std::cout);
+
+    std::cout << "\nPaper: the authors confirmed a buffer existed; "
+                 "its size was chosen (128) by matching the article's "
+                 "average performance.\n";
+    return 0;
+}

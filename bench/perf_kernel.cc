@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator-kernel micro-benchmarks (engineering health, not a paper
+ * figure): throughput of the cache model, DRAM model, trace
+ * generator and the full simulation loop, via google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/baseline_config.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/hierarchy.hh"
+#include "sim/random.hh"
+#include "trace/generator.hh"
+#include "trace/spec_suite.hh"
+#include "trace/window.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams p;
+    p.name = "bm";
+    p.size = 32 * 1024;
+    p.line = 32;
+    p.assoc = 1;
+    Cache cache(p, nullptr, nullptr);
+    Rng rng(7);
+    Cycle t = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.addr = rng.nextBounded(1 << 20) * 8;
+        req.kind = AccessKind::DemandRead;
+        req.when = ++t;
+        benchmark::DoNotOptimize(cache.access(req));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SdramAccess(benchmark::State &state)
+{
+    SdramParams p;
+    Bus fsb(BusParams{"bm_fsb", 64, 5});
+    Sdram dram(p, &fsb);
+    Rng rng(7);
+    Cycle t = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.addr = rng.nextBounded(1 << 22) * 64;
+        req.kind = AccessKind::DemandRead;
+        req.when = (t += 50);
+        benchmark::DoNotOptimize(dram.access(req));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SdramAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    SpecGenerator gen(specProgram("swim"));
+    TraceRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_FullSimulation(benchmark::State &state)
+{
+    const TraceWindow window{0, 200'000};
+    const MaterializedTrace trace =
+        materialize(specProgram("crafty"), window);
+    const BaselineConfig cfg = makeBaseline();
+    for (auto _ : state) {
+        Hierarchy hier(cfg.hier, trace.image);
+        OoOCore core(cfg.core);
+        benchmark::DoNotOptimize(core.run(trace.records, hier));
+    }
+    state.SetItemsProcessed(state.iterations() * window.length);
+}
+BENCHMARK(BM_FullSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

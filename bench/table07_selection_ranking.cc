@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 7 — Influence of benchmark selection on ranking.
+ *
+ * Paper claims: under the DBCP article's selection DBCP jumps from
+ * rank 9 to rank 3, while GHB actually performs *better* on all 26
+ * benchmarks than on its own article's selection, where SP overtakes
+ * it.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/selections.hh"
+
+using namespace microlib;
+using namespace microlib::bench;
+
+int
+main()
+{
+    printExperimentBanner(
+        std::cout, "Table 7: article benchmark selections",
+        "rankings under the full suite vs the DBCP/GHB article "
+        "selections disagree");
+
+    RunConfig cfg;
+    const MatrixResult matrix =
+        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+                  cfg);
+
+    const auto dbcp_sel = indicesOf(matrix, dbcpSelection());
+    const auto ghb_sel = indicesOf(matrix, ghbSelection());
+
+    const auto rank_all = rankMechanisms(matrix);
+    const auto rank_dbcp = rankMechanisms(matrix, dbcp_sel);
+    const auto rank_ghb = rankMechanisms(matrix, ghb_sel);
+
+    Table t("Table 7: rank per benchmark selection");
+    t.header({"mechanism", "26 benchmarks", "DBCP selection",
+              "GHB selection"});
+    for (const auto &name : matrix.mechanisms)
+        t.row({name, std::to_string(rankOf(rank_all, name)),
+               std::to_string(rankOf(rank_dbcp, name)),
+               std::to_string(rankOf(rank_ghb, name))});
+    t.print(std::cout);
+
+    std::cout << "\nDBCP: rank " << rankOf(rank_all, "DBCP")
+              << " on the full suite vs " << rankOf(rank_dbcp, "DBCP")
+              << " on its own selection (paper: 9 -> 3).\n";
+    std::cout << "GHB vs SP on GHB's selection: GHB "
+              << rankOf(rank_ghb, "GHB") << ", SP "
+              << rankOf(rank_ghb, "SP")
+              << " (paper: SP overtakes GHB there).\n";
+    return 0;
+}

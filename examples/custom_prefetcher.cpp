@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Extending MicroLib: define a brand-new mechanism against the public
+ * CacheMechanism API and race it against the published ones.
+ *
+ * This is the paper's whole program — "a library of modular simulator
+ * components that researchers can plug their propositions into" — in
+ * one file: a naive next-N-line prefetcher written from scratch,
+ * evaluated with exactly the same traces, system and metrics as the
+ * twelve published mechanisms.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+/** A toy sequential prefetcher: on every L2 miss, grab the next N
+ *  lines. Degree is the only parameter. */
+class NextNLinePrefetcher : public CacheMechanism
+{
+  public:
+    NextNLinePrefetcher(unsigned degree, const MechanismConfig &cfg)
+        : CacheMechanism("NextN", cfg), _degree(degree), _queue(16)
+    {
+    }
+
+    void
+    cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                bool first_use) override
+    {
+        (void)first_use;
+        if (lvl != CacheLevel::L2 || hit)
+            return;
+        for (unsigned d = 1; d <= _degree; ++d)
+            issueL2Prefetch(_queue, req.addr + d * l2LineBytes(),
+                            req.pc, req.when);
+    }
+
+    std::vector<SramSpec>
+    hardware() const override
+    {
+        return {{"nextn.queue", 16 * 8, 0, 1}};
+    }
+
+  private:
+    unsigned _degree;
+    RequestQueue _queue;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "mgrid";
+
+    RunConfig cfg;
+    std::printf("Racing a custom next-N-line prefetcher against TP "
+                "and SP on '%s'\n\n",
+                benchmark.c_str());
+
+    const MaterializedTrace trace = materializeFor(benchmark, cfg);
+    const double base = runOne(trace, "Base", cfg).ipc();
+
+    std::printf("%-22s %8s %10s\n", "mechanism", "IPC", "speedup");
+    for (const char *name : {"TP", "SP", "GHB"}) {
+        const RunOutput r = runOne(trace, name, cfg);
+        std::printf("%-22s %8.4f %10.3f\n", name, r.ipc(),
+                    r.ipc() / base);
+    }
+
+    // The custom mechanism follows the exact same path: bind, attach,
+    // run over the shared trace.
+    for (unsigned degree : {1u, 2u, 4u}) {
+        Hierarchy hier(cfg.system.hier, trace.image);
+        MechanismConfig mc;
+        NextNLinePrefetcher mech(degree, mc);
+        mech.bind(hier);
+        hier.setClient(&mech);
+        OoOCore core(cfg.system.core);
+        const CoreResult res = core.run(trace.records, hier);
+        std::printf("NextN(degree=%u)%6s %8.4f %10.3f\n", degree, "",
+                    res.ipc, res.ipc / base);
+    }
+
+    std::printf("\nAny mechanism written against the public API gets "
+                "the full methodology for free:\nsame traces, same "
+                "system, same metrics.\n");
+    return 0;
+}

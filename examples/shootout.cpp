@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Mechanism shootout: the paper's Figure 4 comparison on a chosen
+ * subset of benchmarks, as a compact example of the experiment
+ * engine's run-matrix API.
+ *
+ * Usage: shootout [bench1 bench2 ...]
+ * Default: one memory-bound FP, one pointer chaser, one cache-
+ * resident INT — a miniature of the suite's diversity.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/ranking.hh"
+
+using namespace microlib;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> benchmarks;
+    for (int i = 1; i < argc; ++i)
+        benchmarks.push_back(argv[i]);
+    if (benchmarks.empty())
+        benchmarks = {"swim", "mcf", "crafty"};
+
+    RunConfig cfg;
+    std::printf("Shootout over:");
+    for (const auto &b : benchmarks)
+        std::printf(" %s", b.c_str());
+    std::printf("\n(13 mechanisms x %zu benchmarks; SimPoint windows "
+                "of %llu instructions)\n\n",
+                benchmarks.size(),
+                static_cast<unsigned long long>(
+                    cfg.scale.simpoint_trace));
+
+    const MatrixResult matrix =
+        runMatrix(allMechanismNames(), benchmarks, cfg);
+
+    std::printf("%-8s", "mech");
+    for (const auto &b : matrix.benchmarks)
+        std::printf(" %9s", b.c_str());
+    std::printf(" %9s\n", "avg");
+    for (std::size_t m = 0; m < matrix.mechanisms.size(); ++m) {
+        if (matrix.mechanisms[m] == "Base")
+            continue;
+        std::printf("%-8s", matrix.mechanisms[m].c_str());
+        for (std::size_t b = 0; b < matrix.benchmarks.size(); ++b)
+            std::printf(" %9.3f", matrix.speedup(m, b));
+        std::printf(" %9.3f\n", matrix.avgSpeedup(m));
+    }
+
+    const auto ranking = rankMechanisms(matrix);
+    std::printf("\nwinner on this selection: %s (avg speedup %.3f)\n",
+                ranking.front().mechanism.c_str(),
+                ranking.front().avg_speedup);
+    std::printf("Try different selections — Table 6 of the paper "
+                "shows how far cherry-picking can go.\n");
+    return 0;
+}

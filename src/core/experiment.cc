@@ -1,0 +1,186 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "trace/simpoint.hh"
+#include "trace/spec_suite.hh"
+
+namespace microlib
+{
+
+double
+RunOutput::stat(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : it->second;
+}
+
+namespace
+{
+
+/** Process-wide SimPoint cache: keyed by (benchmark, interval). */
+std::map<std::pair<std::string, std::uint64_t>, SimPointChoice>
+    simpoint_cache;
+
+SimPointChoice
+simPointFor(const std::string &benchmark, const TraceScale &scale)
+{
+    const auto key = std::make_pair(benchmark, scale.simpoint_interval);
+    auto it = simpoint_cache.find(key);
+    if (it != simpoint_cache.end())
+        return it->second;
+    const SimPointChoice choice = findSimPoint(
+        specProgram(benchmark), scale.simpoint_interval,
+        scale.simpoint_k);
+    simpoint_cache.emplace(key, choice);
+    return choice;
+}
+
+} // namespace
+
+MaterializedTrace
+materializeFor(const std::string &benchmark, const RunConfig &cfg)
+{
+    TraceWindow window;
+    if (cfg.selection == TraceSelection::SimPoint) {
+        const SimPointChoice sp = simPointFor(benchmark, cfg.scale);
+        window.skip = sp.start_instruction;
+        window.length = cfg.scale.simpoint_trace;
+    } else {
+        window.skip = cfg.scale.arbitrary_skip;
+        window.length = cfg.scale.arbitrary_length;
+    }
+    return materialize(specProgram(benchmark), window);
+}
+
+RunOutput
+runOne(const MaterializedTrace &trace, const std::string &mechanism,
+       const RunConfig &cfg)
+{
+    RunOutput out;
+    out.benchmark = trace.benchmark;
+    out.mechanism = mechanism;
+
+    Hierarchy hier(cfg.system.hier, trace.image);
+    std::unique_ptr<CacheMechanism> mech =
+        makeMechanism(mechanism, cfg.mech);
+
+    StatSet stats;
+    hier.registerStats(stats);
+    if (mech) {
+        mech->bind(hier);
+        mech->registerStats(stats);
+        hier.setClient(mech.get());
+        out.hardware = mech->hardware();
+    }
+
+    OoOCore core(cfg.system.core);
+    out.core = core.run(trace.records, hier);
+
+    for (const auto &name : stats.names())
+        out.stats[name] = stats.get(name);
+    return out;
+}
+
+std::size_t
+MatrixResult::mechIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < mechanisms.size(); ++i)
+        if (mechanisms[i] == name)
+            return i;
+    fatal("mechanism not in matrix: ", name);
+}
+
+std::size_t
+MatrixResult::benchIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        if (benchmarks[i] == name)
+            return i;
+    fatal("benchmark not in matrix: ", name);
+}
+
+double
+MatrixResult::speedup(std::size_t m, std::size_t b) const
+{
+    const std::size_t base = mechIndex("Base");
+    const double base_ipc = ipc[base][b];
+    if (base_ipc <= 0.0)
+        return 1.0;
+    return ipc[m][b] / base_ipc;
+}
+
+double
+MatrixResult::avgSpeedup(std::size_t m,
+                         const std::vector<std::size_t> &subset) const
+{
+    std::vector<std::size_t> idx = subset;
+    if (idx.empty()) {
+        idx.resize(benchmarks.size());
+        for (std::size_t b = 0; b < benchmarks.size(); ++b)
+            idx[b] = b;
+    }
+    double sum = 0.0;
+    for (const std::size_t b : idx)
+        sum += speedup(m, b);
+    return idx.empty() ? 1.0 : sum / static_cast<double>(idx.size());
+}
+
+MatrixResult
+runMatrix(const std::vector<std::string> &mechanisms,
+          const std::vector<std::string> &benchmarks,
+          const RunConfig &cfg, bool verbose)
+{
+    MatrixResult res;
+    res.mechanisms = mechanisms;
+    res.benchmarks = benchmarks;
+    res.ipc.assign(mechanisms.size(),
+                   std::vector<double>(benchmarks.size(), 0.0));
+    res.outputs.assign(mechanisms.size(),
+                       std::vector<RunOutput>(benchmarks.size()));
+
+    unsigned threads = std::thread::hardware_concurrency();
+    if (const char *env = std::getenv("MICROLIB_THREADS"))
+        threads = static_cast<unsigned>(std::atoi(env));
+    if (threads == 0)
+        threads = 1;
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const MaterializedTrace trace =
+            materializeFor(benchmarks[b], cfg);
+
+        // Mechanism runs over one trace are independent (each owns
+        // its hierarchy and core; the trace and image are shared
+        // read-only), so they parallelize trivially.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            while (true) {
+                const std::size_t m =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (m >= mechanisms.size())
+                    return;
+                RunOutput out = runOne(trace, mechanisms[m], cfg);
+                res.ipc[m][b] = out.core.ipc;
+                res.outputs[m][b] = std::move(out);
+            }
+        };
+        std::vector<std::thread> pool;
+        for (unsigned t = 1; t < threads; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+
+        if (verbose)
+            for (std::size_t m = 0; m < mechanisms.size(); ++m)
+                inform(benchmarks[b], " / ", mechanisms[m], ": IPC ",
+                       res.ipc[m][b]);
+    }
+    return res;
+}
+
+} // namespace microlib

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment engine: the run matrix behind every figure and table.
+ *
+ * A run = (benchmark trace window) x (mechanism) x (system config).
+ * Each benchmark's trace window is materialized once and shared by
+ * all mechanisms, so comparisons see bit-identical inputs — the
+ * methodological discipline the paper argues for.
+ */
+
+#ifndef MICROLIB_CORE_EXPERIMENT_HH
+#define MICROLIB_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baseline_config.hh"
+#include "core/mechanism.hh"
+#include "core/registry.hh"
+#include "cpu/ooo_core.hh"
+#include "trace/window.hh"
+
+namespace microlib
+{
+
+/** Which slice of a benchmark is simulated (Figure 11). */
+enum class TraceSelection
+{
+    SimPoint,  ///< BBV + k-means chosen representative window
+    Arbitrary, ///< "skip N, simulate M"
+};
+
+/** Configuration of one experiment run. */
+struct RunConfig
+{
+    BaselineConfig system = makeBaseline();
+    TraceSelection selection = TraceSelection::SimPoint;
+    TraceScale scale = makeTraceScale();
+    MechanismConfig mech;
+};
+
+/** Outcome of one run. */
+struct RunOutput
+{
+    std::string benchmark;
+    std::string mechanism;
+    CoreResult core;
+    std::map<std::string, double> stats; ///< full StatSet snapshot
+    std::vector<SramSpec> hardware;      ///< mechanism structures
+
+    double ipc() const { return core.ipc; }
+    double stat(const std::string &name) const;
+};
+
+/** The trace window for @p benchmark under @p cfg; SimPoint choices
+ *  are cached per (benchmark, scale) within the process. */
+MaterializedTrace materializeFor(const std::string &benchmark,
+                                 const RunConfig &cfg);
+
+/** Run one mechanism over an already materialized trace. */
+RunOutput runOne(const MaterializedTrace &trace,
+                 const std::string &mechanism, const RunConfig &cfg);
+
+/** IPCs (and outputs) for mechanisms x benchmarks. */
+struct MatrixResult
+{
+    std::vector<std::string> mechanisms;
+    std::vector<std::string> benchmarks;
+    /** ipc[m][b] indexed like the name vectors. */
+    std::vector<std::vector<double>> ipc;
+    std::vector<std::vector<RunOutput>> outputs;
+
+    std::size_t mechIndex(const std::string &name) const;
+    std::size_t benchIndex(const std::string &name) const;
+
+    /** Speedup of mechanism @p m on benchmark @p b vs "Base". */
+    double speedup(std::size_t m, std::size_t b) const;
+
+    /** Arithmetic mean speedup of mechanism @p m over a benchmark
+     *  subset (empty = all). */
+    double avgSpeedup(std::size_t m,
+                      const std::vector<std::size_t> &subset = {}) const;
+};
+
+/**
+ * Run the full matrix. Benchmarks iterate outermost so each trace is
+ * materialized exactly once.
+ *
+ * @param mechanisms mechanism acronyms; must include "Base" for
+ *        speedup computation
+ * @param benchmarks benchmark names
+ * @param cfg shared run configuration
+ * @param verbose print per-run progress
+ */
+MatrixResult runMatrix(const std::vector<std::string> &mechanisms,
+                       const std::vector<std::string> &benchmarks,
+                       const RunConfig &cfg, bool verbose = false);
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_EXPERIMENT_HH

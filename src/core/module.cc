@@ -1,0 +1,4 @@
+#include "core/module.hh"
+
+// Module is header-only; this translation unit anchors the component
+// in the library.

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * MicroLib module base class.
+ *
+ * MicroLib is "an open library of modular simulator components": every
+ * component that can be shared — caches, memory models, mechanisms —
+ * presents a uniform surface: a name, a parameter dump (so published
+ * experiments are reproducible) and statistics registration. This is
+ * the C++ equivalent of the paper's SystemC module discipline.
+ */
+
+#ifndef MICROLIB_CORE_MODULE_HH
+#define MICROLIB_CORE_MODULE_HH
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace microlib
+{
+
+/** Base class for shareable simulator components. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : _name(std::move(name)) {}
+    virtual ~Module() = default;
+
+    const std::string &name() const { return _name; }
+
+    /** Contribute this module's parameters to a configuration dump. */
+    virtual void describe(ParamTable &table) const { (void)table; }
+
+    /** Register this module's statistics. */
+    virtual void registerStats(StatSet &stats) const { (void)stats; }
+
+  private:
+    std::string _name;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_MODULE_HH

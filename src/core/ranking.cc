@@ -1,0 +1,56 @@
+#include "core/ranking.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+std::vector<RankEntry>
+rankMechanisms(const MatrixResult &matrix,
+               const std::vector<std::size_t> &subset)
+{
+    std::vector<RankEntry> entries;
+    for (std::size_t m = 0; m < matrix.mechanisms.size(); ++m) {
+        RankEntry e;
+        e.mechanism = matrix.mechanisms[m];
+        e.avg_speedup = matrix.avgSpeedup(m, subset);
+        entries.push_back(e);
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const RankEntry &a, const RankEntry &b) {
+                         return a.avg_speedup > b.avg_speedup;
+                     });
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        entries[i].rank = static_cast<unsigned>(i + 1);
+    return entries;
+}
+
+unsigned
+rankOf(const std::vector<RankEntry> &ranking,
+       const std::string &mechanism)
+{
+    for (const auto &e : ranking)
+        if (e.mechanism == mechanism)
+            return e.rank;
+    fatal("mechanism not in ranking: ", mechanism);
+}
+
+std::vector<double>
+benchmarkSensitivity(const MatrixResult &matrix)
+{
+    std::vector<double> sens(matrix.benchmarks.size(), 0.0);
+    for (std::size_t b = 0; b < matrix.benchmarks.size(); ++b) {
+        double lo = 1e9, hi = -1e9;
+        for (std::size_t m = 0; m < matrix.mechanisms.size(); ++m) {
+            const double s = matrix.speedup(m, b);
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        sens[b] = hi - lo;
+    }
+    return sens;
+}
+
+} // namespace microlib

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Speedup/ranking algebra over a result matrix.
+ *
+ * The paper compares mechanisms through average IPC speedup rankings;
+ * this module derives rankings from a MatrixResult for arbitrary
+ * benchmark subsets — the building block behind Figures 4, 7 and 8
+ * and Tables 6 and 7.
+ */
+
+#ifndef MICROLIB_CORE_RANKING_HH
+#define MICROLIB_CORE_RANKING_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace microlib
+{
+
+/** One ranked mechanism. */
+struct RankEntry
+{
+    std::string mechanism;
+    double avg_speedup = 1.0;
+    unsigned rank = 0; ///< 1 = best
+};
+
+/**
+ * Rank all mechanisms of @p matrix by average speedup over
+ * @p subset (benchmark indices; empty = all benchmarks).
+ * Entries come back sorted best-first.
+ */
+std::vector<RankEntry> rankMechanisms(
+    const MatrixResult &matrix,
+    const std::vector<std::size_t> &subset = {});
+
+/** Rank (1-based) of @p mechanism inside a rankMechanisms result. */
+unsigned rankOf(const std::vector<RankEntry> &ranking,
+                const std::string &mechanism);
+
+/**
+ * Per-benchmark sensitivity: the spread between the best and worst
+ * mechanism speedup on that benchmark (Figure 6's metric).
+ */
+std::vector<double> benchmarkSensitivity(const MatrixResult &matrix);
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_RANKING_HH

@@ -1,0 +1,149 @@
+#include "core/registry.hh"
+
+#include "mechanisms/cdp.hh"
+#include "mechanisms/cdp_sp.hh"
+#include "mechanisms/dbcp.hh"
+#include "mechanisms/frequent_value_cache.hh"
+#include "mechanisms/ghb.hh"
+#include "mechanisms/markov_prefetch.hh"
+#include "mechanisms/stride_prefetch.hh"
+#include "mechanisms/tagged_prefetch.hh"
+#include "mechanisms/tcp.hh"
+#include "mechanisms/timekeeping.hh"
+#include "mechanisms/timekeeping_victim.hh"
+#include "mechanisms/victim_cache.hh"
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+template <typename T>
+std::function<std::unique_ptr<CacheMechanism>(const MechanismConfig &)>
+maker()
+{
+    return [](const MechanismConfig &cfg) {
+        return std::unique_ptr<CacheMechanism>(new T(cfg));
+    };
+}
+
+std::vector<MechanismDesc>
+buildRegistry()
+{
+    std::vector<MechanismDesc> reg;
+
+    reg.push_back({"TP", "Tagged Prefetching",
+                   "prefetches next cache line on a miss, or on a hit "
+                   "on a prefetched line",
+                   "Smith, Computing Surveys 1982", 1982,
+                   CacheLevel::L2, {}, maker<TaggedPrefetch>()});
+
+    reg.push_back({"VC", "Victim Cache",
+                   "small fully associative cache for evicted lines; "
+                   "limits conflict misses",
+                   "Jouppi, WRL TR 1990", 1990, CacheLevel::L1D, {},
+                   maker<VictimCache>()});
+
+    reg.push_back({"SP", "Stride Prefetching",
+                   "detects per-load strides and prefetches "
+                   "accordingly",
+                   "Chen & Baer / Fu, Patel, Janssens, MICRO 1992",
+                   1992, CacheLevel::L2, {}, maker<StridePrefetch>()});
+
+    reg.push_back({"Markov", "Markov Prefetcher",
+                   "records probable miss-address sequences for "
+                   "target address prediction",
+                   "Joseph & Grunwald, ISCA 1997", 1997,
+                   CacheLevel::L1D, {}, maker<MarkovPrefetch>()});
+
+    reg.push_back({"FVC", "Frequent Value Cache",
+                   "victim-style side cache storing frequently used "
+                   "values in compressed form",
+                   "Zhang, Yang, Gupta, ASPLOS 2000", 2000,
+                   CacheLevel::L1D, {}, maker<FrequentValueCache>()});
+
+    reg.push_back({"DBCP", "Dead-Block Correlating Prefetcher",
+                   "records access patterns finishing with a miss and "
+                   "prefetches when the pattern recurs",
+                   "Lai, Fide, Falsafi, ISCA 2001", 2001,
+                   CacheLevel::L1D, {"Markov"}, maker<Dbcp>()});
+
+    reg.push_back({"TKVC", "Timekeeping Victim Cache",
+                   "decides via reuse prediction whether a victim "
+                   "line enters the victim cache",
+                   "Hu, Kaxiras, Martonosi, ISCA 2002", 2002,
+                   CacheLevel::L1D, {"VC"}, maker<TimekeepingVictim>()});
+
+    reg.push_back({"TK", "Timekeeping Prefetcher",
+                   "predicts when a line dies and prefetches its "
+                   "recorded replacement in time",
+                   "Hu, Kaxiras, Martonosi, ISCA 2002", 2002,
+                   CacheLevel::L1D, {"DBCP"}, maker<Timekeeping>()});
+
+    reg.push_back({"CDP", "Content-Directed Data Prefetching",
+                   "scans fetched lines for addresses and prefetches "
+                   "them immediately",
+                   "Cooksey, Jourdan, Grunwald, ASPLOS 2002", 2002,
+                   CacheLevel::L2, {"SP"}, maker<Cdp>()});
+
+    reg.push_back({"CDPSP", "CDP + SP",
+                   "combination of content-directed and stride "
+                   "prefetching as proposed in the CDP article",
+                   "Cooksey, Jourdan, Grunwald, ASPLOS 2002", 2002,
+                   CacheLevel::L2, {"SP"}, maker<CdpSp>()});
+
+    reg.push_back({"TCP", "Tag Correlating Prefetching",
+                   "records per-set tag miss patterns and prefetches "
+                   "the most likely next tag",
+                   "Hu, Martonosi, Kaxiras, HPCA 2003", 2003,
+                   CacheLevel::L2, {"DBCP"}, maker<Tcp>()});
+
+    reg.push_back({"GHB", "Global History Buffer",
+                   "records stride patterns in per-PC miss streams "
+                   "and prefetches on recurrence",
+                   "Nesbit & Smith, HPCA 2004", 2004, CacheLevel::L2,
+                   {"SP"}, maker<Ghb>()});
+
+    return reg;
+}
+
+} // namespace
+
+const std::vector<MechanismDesc> &
+mechanismRegistry()
+{
+    static const std::vector<MechanismDesc> reg = buildRegistry();
+    return reg;
+}
+
+const MechanismDesc &
+mechanismDesc(const std::string &acronym)
+{
+    for (const auto &d : mechanismRegistry())
+        if (d.acronym == acronym)
+            return d;
+    fatal("unknown mechanism: ", acronym);
+}
+
+std::unique_ptr<CacheMechanism>
+makeMechanism(const std::string &acronym, const MechanismConfig &cfg)
+{
+    if (acronym == "Base")
+        return nullptr;
+    return mechanismDesc(acronym).make(cfg);
+}
+
+const std::vector<std::string> &
+allMechanismNames()
+{
+    // The paper's figure order (Table 6 / Figure 4 column order).
+    static const std::vector<std::string> names = {
+        "Base", "TP",  "VC",    "SP",  "Markov", "FVC", "DBCP",
+        "TKVC", "TK",  "CDP",   "CDPSP", "TCP",  "GHB",
+    };
+    return names;
+}
+
+} // namespace microlib

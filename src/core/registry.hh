@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Mechanism registry: the paper's Table 2 in executable form.
+ *
+ * Every mechanism is registered with its acronym, description,
+ * reference, publication year, attachment level and the list of
+ * mechanisms its original article compared against (Table 5). The
+ * experiment engine instantiates mechanisms by acronym; "Base" is the
+ * no-mechanism baseline.
+ */
+
+#ifndef MICROLIB_CORE_REGISTRY_HH
+#define MICROLIB_CORE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Registry entry: one row of the paper's Table 2. */
+struct MechanismDesc
+{
+    std::string acronym;
+    std::string title;
+    std::string description;
+    std::string reference;
+    int year = 0;
+    CacheLevel level = CacheLevel::L1D;
+    /** Mechanisms the original article quantitatively compared
+     *  against (paper Table 5). */
+    std::vector<std::string> compared_against;
+    std::function<std::unique_ptr<CacheMechanism>(
+        const MechanismConfig &)> make;
+};
+
+/** All registered mechanisms, in the paper's Table 2 order. */
+const std::vector<MechanismDesc> &mechanismRegistry();
+
+/** Descriptor for @p acronym (fatal if unknown). */
+const MechanismDesc &mechanismDesc(const std::string &acronym);
+
+/** Instantiate @p acronym; returns nullptr for "Base". */
+std::unique_ptr<CacheMechanism>
+makeMechanism(const std::string &acronym, const MechanismConfig &cfg);
+
+/** "Base" plus the twelve mechanisms, in the paper's figure order. */
+const std::vector<std::string> &allMechanismNames();
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_REGISTRY_HH

@@ -1,0 +1,94 @@
+#include "core/subset_winners.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+std::vector<std::vector<bool>>
+subsetWinners(const std::vector<std::vector<double>> &speedup)
+{
+    const std::size_t mechs = speedup.size();
+    if (mechs == 0)
+        fatal("subsetWinners: no mechanisms");
+    const std::size_t benches = speedup[0].size();
+    if (benches == 0 || benches > 26)
+        fatal("subsetWinners: benchmark count out of range");
+    for (const auto &row : speedup)
+        if (row.size() != benches)
+            fatal("subsetWinners: ragged speedup matrix");
+
+    std::vector<std::vector<bool>> can_win(
+        benches + 1, std::vector<bool>(mechs, false));
+
+    // Incremental Gray-code sweep: consecutive codes differ by one
+    // benchmark, so per-mechanism sums update in O(mechs).
+    std::vector<double> sums(mechs, 0.0);
+    unsigned popcount = 0;
+    const std::uint64_t total = 1ull << benches;
+    std::uint64_t gray = 0;
+
+    for (std::uint64_t i = 1; i < total; ++i) {
+        const std::uint64_t next_gray = i ^ (i >> 1);
+        const std::uint64_t flipped = gray ^ next_gray;
+        const unsigned bit =
+            static_cast<unsigned>(std::countr_zero(flipped));
+        const bool added = next_gray & flipped;
+        gray = next_gray;
+
+        if (added) {
+            ++popcount;
+            for (std::size_t m = 0; m < mechs; ++m)
+                sums[m] += speedup[m][bit];
+        } else {
+            --popcount;
+            for (std::size_t m = 0; m < mechs; ++m)
+                sums[m] -= speedup[m][bit];
+        }
+
+        // Winner(s) for this subset: max sum (N identical across
+        // mechanisms, so sums compare directly).
+        double best = sums[0];
+        for (std::size_t m = 1; m < mechs; ++m)
+            if (sums[m] > best)
+                best = sums[m];
+        auto &row = can_win[popcount];
+        for (std::size_t m = 0; m < mechs; ++m)
+            if (sums[m] >= best - 1e-12)
+                row[m] = true;
+    }
+    return can_win;
+}
+
+std::vector<std::vector<bool>>
+subsetWinnersBruteForce(const std::vector<std::vector<double>> &speedup)
+{
+    const std::size_t mechs = speedup.size();
+    const std::size_t benches = speedup[0].size();
+    std::vector<std::vector<bool>> can_win(
+        benches + 1, std::vector<bool>(mechs, false));
+
+    for (std::uint64_t mask = 1; mask < (1ull << benches); ++mask) {
+        std::vector<double> sums(mechs, 0.0);
+        unsigned n = 0;
+        for (std::size_t b = 0; b < benches; ++b) {
+            if (!(mask & (1ull << b)))
+                continue;
+            ++n;
+            for (std::size_t m = 0; m < mechs; ++m)
+                sums[m] += speedup[m][b];
+        }
+        double best = sums[0];
+        for (std::size_t m = 1; m < mechs; ++m)
+            if (sums[m] > best)
+                best = sums[m];
+        for (std::size_t m = 0; m < mechs; ++m)
+            if (sums[m] >= best - 1e-12)
+                can_win[n][m] = true;
+    }
+    return can_win;
+}
+
+} // namespace microlib

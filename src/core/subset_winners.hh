@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Exhaustive benchmark-subset winner enumeration (paper Table 6).
+ *
+ * The paper ranks the mechanisms for *every possible benchmark
+ * combination* (all 2^26 - 1 non-empty subsets) and reports, for each
+ * subset size N, which mechanisms win at least one N-benchmark
+ * selection — showing that with up to 23 benchmarks "cherry-picking"
+ * can crown nearly anything. A Gray-code sweep makes the full
+ * enumeration incremental: each step flips one benchmark in/out and
+ * updates the running speedup sums.
+ */
+
+#ifndef MICROLIB_CORE_SUBSET_WINNERS_HH
+#define MICROLIB_CORE_SUBSET_WINNERS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace microlib
+{
+
+/**
+ * @param speedup speedup[mechanism][benchmark]
+ * @return can_win[n][mechanism]: true iff the mechanism has the best
+ *         average speedup on at least one subset of size n
+ *         (index 0 unused; n ranges 1..benchmarks).
+ *
+ * Ties award all tied mechanisms.
+ */
+std::vector<std::vector<bool>>
+subsetWinners(const std::vector<std::vector<double>> &speedup);
+
+/** Reference brute-force implementation for testing (small inputs). */
+std::vector<std::vector<bool>>
+subsetWinnersBruteForce(const std::vector<std::vector<double>> &speedup);
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_SUBSET_WINNERS_HH

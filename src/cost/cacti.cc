@@ -1,0 +1,74 @@
+#include "cost/cacti.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+/** 130 nm 6T SRAM cell area, mm^2 per bit (CACTI-era ballpark). */
+constexpr double sram_cell_mm2_per_bit = 2.0e-6;
+
+/** CAM cells (fully associative tags) are roughly 2x larger. */
+constexpr double cam_factor = 2.0;
+
+double
+portFactor(unsigned ports)
+{
+    // Each extra port adds a wordline and bitline pair: area grows
+    // close to quadratically in the port count for small counts.
+    const double p = static_cast<double>(ports);
+    return 0.5 + 0.5 * p * p / (1.0 + 0.3 * (p - 1.0));
+}
+
+double
+assocFactor(unsigned assoc)
+{
+    if (assoc == 0)
+        return cam_factor; // fully associative
+    // Comparators and multiplexing overhead per way.
+    return 1.0 + 0.08 * std::log2(static_cast<double>(assoc));
+}
+
+} // namespace
+
+double
+sramAreaMm2(const SramSpec &spec)
+{
+    if (spec.bytes == 0)
+        return 0.0;
+    const double bits = static_cast<double>(spec.bytes) * 8.0;
+    return bits * sram_cell_mm2_per_bit * assocFactor(spec.assoc) *
+           portFactor(spec.ports);
+}
+
+double
+totalAreaMm2(const std::vector<SramSpec> &specs)
+{
+    double sum = 0.0;
+    for (const auto &s : specs)
+        sum += sramAreaMm2(s);
+    return sum;
+}
+
+double
+cacheAreaMm2(std::uint64_t size_bytes, std::uint64_t line_bytes,
+             unsigned assoc, unsigned ports, std::uint64_t addr_bits)
+{
+    if (line_bytes == 0)
+        fatal("cacheAreaMm2: zero line size");
+    // Data array + tag array (tag, valid, dirty per line).
+    const std::uint64_t lines = size_bytes / line_bytes;
+    const std::uint64_t tag_bits_per_line =
+        addr_bits - floorLog2(line_bytes) + 2;
+    SramSpec data{"data", size_bytes, assoc == 0 ? 1u : assoc, ports};
+    SramSpec tags{"tags", lines * tag_bits_per_line / 8,
+                  assoc == 0 ? 1u : assoc, ports};
+    return sramAreaMm2(data) + sramAreaMm2(tags);
+}
+
+} // namespace microlib

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Analytical SRAM area model (the CACTI 3.2 stand-in).
+ *
+ * The paper evaluates mechanism cost with CACTI 3.2 and reports area
+ * *ratios* relative to the base cache (Figure 5). CACTI itself is not
+ * available offline, so this model reproduces the first-order scaling
+ * CACTI exhibits: area grows linearly in bits, with multiplicative
+ * overheads for associativity (comparators, extra tag width), port
+ * count (wordlines/bitlines scale roughly quadratically in ports) and
+ * full associativity (CAM cells). Constants are calibrated to a
+ * 130 nm process, but only ratios matter for the reproduced figure.
+ */
+
+#ifndef MICROLIB_COST_CACTI_HH
+#define MICROLIB_COST_CACTI_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Area in mm^2 of one SRAM/CAM structure. */
+double sramAreaMm2(const SramSpec &spec);
+
+/** Combined area of a structure list. */
+double totalAreaMm2(const std::vector<SramSpec> &specs);
+
+/** Area of a cache data+tag array given its geometry. */
+double cacheAreaMm2(std::uint64_t size_bytes, std::uint64_t line_bytes,
+                    unsigned assoc, unsigned ports,
+                    std::uint64_t addr_bits = 32);
+
+} // namespace microlib
+
+#endif // MICROLIB_COST_CACTI_HH

@@ -1,0 +1,44 @@
+#include "cost/xcacti.hh"
+
+#include <cmath>
+
+namespace microlib
+{
+
+namespace
+{
+
+/** Calibration: ~0.5 nJ for a 32 KB direct-mapped single-port read
+ *  (130 nm ballpark). */
+constexpr double base_energy_nj = 0.5;
+constexpr double base_bytes = 32.0 * 1024.0;
+
+} // namespace
+
+double
+accessEnergyNj(const SramSpec &spec)
+{
+    if (spec.bytes == 0)
+        return 0.0;
+    const double size_factor =
+        std::sqrt(static_cast<double>(spec.bytes) / base_bytes);
+    // Fully associative structures probe every tag: energy scales
+    // with the entry count rather than sqrt(size); approximate with
+    // an extra factor.
+    const double assoc_factor =
+        spec.assoc == 0
+            ? 2.5
+            : 1.0 + 0.15 * std::log2(static_cast<double>(spec.assoc));
+    const double port_factor = 1.0 + 0.2 * (spec.ports - 1.0);
+    return base_energy_nj * size_factor * assoc_factor * port_factor;
+}
+
+double
+cacheAccessEnergyNj(std::uint64_t size_bytes, unsigned assoc,
+                    unsigned ports)
+{
+    SramSpec s{"cache", size_bytes, assoc, ports};
+    return accessEnergyNj(s);
+}
+
+} // namespace microlib

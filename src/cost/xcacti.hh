@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Analytical SRAM access energy model (the XCACTI stand-in).
+ *
+ * The paper evaluates power with XCACTI; Figure 5 reports the
+ * *relative power increase* of each mechanism over the base cache
+ * hierarchy. Dynamic energy per access scales roughly with the
+ * square root of the array size (bitline/wordline lengths), with
+ * associativity and port overheads. Off-chip (DRAM) power is
+ * excluded, as in the paper (its footnote 4).
+ */
+
+#ifndef MICROLIB_COST_XCACTI_HH
+#define MICROLIB_COST_XCACTI_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Dynamic energy per access, nJ. */
+double accessEnergyNj(const SramSpec &spec);
+
+/** Energy for a cache access given geometry. */
+double cacheAccessEnergyNj(std::uint64_t size_bytes, unsigned assoc,
+                           unsigned ports);
+
+} // namespace microlib
+
+#endif // MICROLIB_COST_XCACTI_HH

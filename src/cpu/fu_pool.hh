@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional unit pool (Table 1: 8 IntALU, 3 IntMult/Div, 6 FPALU,
+ * 2 FPMult/Div, 4 Load/Store units).
+ *
+ * Units are modeled as next-free timestamps: issuing an instruction
+ * acquires the earliest-free unit of its class at or after its ready
+ * time. All units are pipelined with an issue-to-issue interval of
+ * one cycle except multipliers (interval two), matching the
+ * sim-outorder defaults the paper inherits.
+ */
+
+#ifndef MICROLIB_CPU_FU_POOL_HH
+#define MICROLIB_CPU_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/record.hh"
+
+namespace microlib
+{
+
+/** Functional unit configuration. */
+struct FuPoolParams
+{
+    unsigned int_alu = 8;
+    unsigned int_mult = 3;
+    unsigned fp_alu = 6;
+    unsigned fp_mult = 2;
+    unsigned ls_units = 4;
+
+    Cycle int_alu_latency = 1;
+    Cycle int_mult_latency = 3;
+    Cycle fp_alu_latency = 2;
+    Cycle fp_mult_latency = 4;
+    Cycle agen_latency = 1;     ///< address generation before cache
+};
+
+/** Timestamp-based functional unit pool. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolParams &p);
+
+    /** Reset all units to free-at-zero. */
+    void reset();
+
+    /**
+     * Acquire a unit for @p op at or after @p ready.
+     * @return issue cycle (>= ready).
+     */
+    Cycle acquire(OpClass op, Cycle ready);
+
+    /** Execution latency of @p op (cache time excluded for memory). */
+    Cycle latency(OpClass op) const;
+
+    const FuPoolParams &params() const { return _p; }
+
+  private:
+    FuPoolParams _p;
+
+    /** Unit classes: IntALU, IntMult, FpALU, FpMult, LS. */
+    std::array<std::vector<Cycle>, 5> _units;
+
+    unsigned unitClass(OpClass op) const;
+    Cycle issueInterval(OpClass op) const;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CPU_FU_POOL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-driven out-of-order core (the sim-outorder stand-in).
+ *
+ * Models the timing bottlenecks the paper's evaluation depends on —
+ * a 128-entry RUU instruction window, a 128-entry LSQ, 8-wide
+ * fetch/issue/commit, the Table 1 functional unit pool, in-order
+ * commit, instruction-cache stalls and branch mispredictions — with
+ * timestamp algebra: each dynamic instruction gets dispatch, ready,
+ * issue, complete and commit cycles derived from its predecessors
+ * and the memory hierarchy's resource state. Loads visit the
+ * hierarchy at issue; stores write at commit (posted).
+ */
+
+#ifndef MICROLIB_CPU_OOO_CORE_HH
+#define MICROLIB_CPU_OOO_CORE_HH
+
+#include <vector>
+
+#include "cpu/fu_pool.hh"
+#include "mem/hierarchy.hh"
+#include "sim/stats.hh"
+#include "trace/record.hh"
+
+namespace microlib
+{
+
+/** Core configuration (Table 1 values as defaults). */
+struct CoreParams
+{
+    unsigned ruu_size = 128;
+    unsigned lsq_size = 128;
+    unsigned fetch_width = 8;
+    unsigned commit_width = 8;
+    FuPoolParams fu;
+
+    /** Branch misprediction rate and recovery penalty. The rate is a
+     *  deterministic hash of (pc, occurrence) so every mechanism sees
+     *  the same misprediction pattern on the same trace. */
+    double mispredict_rate = 0.04;
+    Cycle mispredict_penalty = 3;
+};
+
+/** Results of one simulation run. */
+struct CoreResult
+{
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+};
+
+/** The out-of-order core. */
+class OoOCore
+{
+  public:
+    explicit OoOCore(const CoreParams &p);
+
+    /**
+     * Run @p trace against @p mem and return timing results.
+     * The core is reset first; the hierarchy is not (caller decides
+     * warm/cold state).
+     */
+    CoreResult run(const Trace &trace, Hierarchy &mem);
+
+    const CoreParams &params() const { return _p; }
+
+  private:
+    CoreParams _p;
+    FuPool _fu;
+
+    /** History ring large enough for 255-distance dependences. */
+    static constexpr std::size_t history = 512;
+
+    std::vector<Cycle> _complete; // ring: completion per instruction
+    std::vector<Cycle> _dispatch; // ring: dispatch per instruction
+    std::vector<Cycle> _commit;   // ring: commit per instruction
+    std::vector<Cycle> _mem_complete; // ring: per memory instruction
+
+    static bool deterministicMispredict(Addr pc, std::uint64_t n,
+                                        double rate);
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CPU_OOO_CORE_HH

@@ -1,0 +1,88 @@
+#include "mechanisms/cdp.hh"
+
+#include "trace/kernels.hh"
+
+namespace microlib
+{
+
+Cdp::Cdp(const MechanismConfig &cfg) : Cdp(cfg, Params())
+{
+}
+
+Cdp::Cdp(const MechanismConfig &cfg, const Params &p)
+    : CacheMechanism("CDP", cfg), _p(p), _queue(p.request_queue)
+{
+}
+
+bool
+Cdp::candidate(Word w)
+{
+    // The hardware filter compares the value's upper bits with the
+    // base of the data segment; our synthetic heap plays that role.
+    return looksLikeHeapPointer(w);
+}
+
+bool
+Cdp::wantsLineContent(CacheLevel lvl) const
+{
+    return lvl == CacheLevel::L2;
+}
+
+void
+Cdp::lineContent(CacheLevel lvl, Addr line,
+                 const std::vector<Word> &words, AccessKind cause,
+                 Cycle now)
+{
+    if (lvl != CacheLevel::L2)
+        return;
+
+    unsigned depth = 0;
+    if (cause == AccessKind::Prefetch) {
+        auto it = _depth.find(line);
+        depth = it == _depth.end() ? _p.depth_threshold : it->second;
+        if (it != _depth.end())
+            _depth.erase(it);
+        if (depth >= _p.depth_threshold)
+            return; // recursion bound reached
+    } else if (cause == AccessKind::Writeback) {
+        return; // dirty evictions from L1 carry no new reachability
+    }
+
+    for (const Word w : words) {
+        if (!candidate(w))
+            continue;
+        ++pointers_found;
+        const Addr target = l2LineAddr(static_cast<Addr>(w));
+        if (hier()->l2Probe(target))
+            continue;
+        // Record the depth *before* issuing: the refill callback for
+        // the prefetched line runs inside issueL2Prefetch, and the
+        // recursive scan must see its depth.
+        _depth[target] = depth + 1;
+        if (!issueL2Prefetch(_queue, target, 0, now))
+            _depth.erase(target);
+    }
+
+    // Keep the depth map bounded: drop stale entries en masse.
+    if (_depth.size() > 65536)
+        _depth.clear();
+}
+
+std::vector<SramSpec>
+Cdp::hardware() const
+{
+    // Stateless: just the scanner comparators and the request queue.
+    return {
+        {"cdp.request_queue", _p.request_queue * 8, 0, 1},
+    };
+}
+
+void
+Cdp::describe(ParamTable &t) const
+{
+    t.section("Content-Directed Data Prefetching");
+    t.add("Prefetch Depth Threshold", _p.depth_threshold);
+    t.add("Request Queue Size", _p.request_queue);
+}
+
+} // namespace microlib

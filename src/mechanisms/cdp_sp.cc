@@ -1,0 +1,90 @@
+#include "mechanisms/cdp_sp.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+StridePrefetch::Params
+spParams()
+{
+    StridePrefetch::Params p;
+    p.pc_entries = 512;  // Table 3: SP PC entries 512
+    p.request_queue = 1; // Table 3: Request Queue (SP) 1
+    return p;
+}
+
+Cdp::Params
+cdpParams()
+{
+    Cdp::Params p;
+    p.depth_threshold = 3;  // Table 3
+    p.request_queue = 128;  // Table 3: Request Queue (CDP) 128
+    return p;
+}
+
+} // namespace
+
+CdpSp::CdpSp(const MechanismConfig &cfg)
+    : CacheMechanism("CDPSP", cfg), _sp(cfg, spParams()),
+      _cdp(cfg, cdpParams())
+{
+}
+
+void
+CdpSp::bind(Hierarchy &hier)
+{
+    CacheMechanism::bind(hier);
+    _sp.bind(hier);
+    _cdp.bind(hier);
+}
+
+void
+CdpSp::cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                   bool first_use)
+{
+    _sp.cacheAccess(lvl, req, hit, first_use);
+}
+
+bool
+CdpSp::wantsLineContent(CacheLevel lvl) const
+{
+    return _cdp.wantsLineContent(lvl);
+}
+
+void
+CdpSp::lineContent(CacheLevel lvl, Addr line,
+                   const std::vector<Word> &words, AccessKind cause,
+                   Cycle now)
+{
+    _cdp.lineContent(lvl, line, words, cause, now);
+}
+
+std::vector<SramSpec>
+CdpSp::hardware() const
+{
+    auto hw = _sp.hardware();
+    const auto cdp_hw = _cdp.hardware();
+    hw.insert(hw.end(), cdp_hw.begin(), cdp_hw.end());
+    return hw;
+}
+
+void
+CdpSp::describe(ParamTable &t) const
+{
+    t.section("CDP + SP");
+    t.add("SP PC entries", 512);
+    t.add("CDP Prefetch Depth Threshold", 3);
+    t.add("Request Queue Size (SP/CDP)", "1/128");
+}
+
+void
+CdpSp::registerStats(StatSet &stats) const
+{
+    CacheMechanism::registerStats(stats);
+    _sp.registerStats(stats);
+    _cdp.registerStats(stats);
+}
+
+} // namespace microlib

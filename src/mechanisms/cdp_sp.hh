@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CDPSP — CDP + Stride Prefetching combination (Cooksey et al. 2002),
+ * at the L2.
+ *
+ * The CDP article proposes pairing the pointer prefetcher with a
+ * conventional stride engine so regular traffic is covered too;
+ * Table 3 gives each engine its own request queue (SP: 1, CDP: 128).
+ * The paper notes the combination "can be appropriate for a larger
+ * range of benchmarks" (Table 6).
+ */
+
+#ifndef MICROLIB_MECHANISMS_CDP_SP_HH
+#define MICROLIB_MECHANISMS_CDP_SP_HH
+
+#include "mechanisms/cdp.hh"
+#include "mechanisms/stride_prefetch.hh"
+
+namespace microlib
+{
+
+/** Combined content-directed + stride prefetcher. */
+class CdpSp : public CacheMechanism
+{
+  public:
+    CdpSp(const MechanismConfig &cfg);
+
+    void bind(Hierarchy &hier) override;
+
+    void cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                     bool first_use) override;
+    bool wantsLineContent(CacheLevel lvl) const override;
+    void lineContent(CacheLevel lvl, Addr line,
+                     const std::vector<Word> &words, AccessKind cause,
+                     Cycle now) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+    void registerStats(StatSet &stats) const override;
+
+  private:
+    StridePrefetch _sp;
+    Cdp _cdp;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_CDP_SP_HH

@@ -1,0 +1,228 @@
+#include "mechanisms/dbcp.hh"
+
+namespace microlib
+{
+
+Dbcp::Dbcp(const MechanismConfig &cfg) : Dbcp(cfg, Params())
+{
+}
+
+Dbcp::Dbcp(const MechanismConfig &cfg, const Params &p)
+    : CacheMechanism("DBCP", cfg), _p(p), _fixed(!cfg.second_guess),
+      _effective_entries(_fixed ? p.table_entries : p.table_entries / 2),
+      _queue(p.request_queue),
+      _corr(_effective_entries)
+{
+}
+
+void
+Dbcp::bind(Hierarchy &hier)
+{
+    CacheMechanism::bind(hier);
+    const auto &l1 = hier.params().l1d;
+    _l1_sets = l1.size / (l1.line * l1.assoc);
+    _frames.assign(l1.size / l1.line, FrameState{});
+    _pending.assign(_l1_sets, PendingDeath{});
+    _buffer = std::make_unique<LineBuffer>(_p.buffer_lines, l1.line);
+}
+
+std::uint64_t
+Dbcp::frameIndex(Addr line) const
+{
+    // Direct-mapped L1 in the baseline: frame == set. With higher
+    // associativity we track one signature per set, an acceptable
+    // approximation documented in DESIGN.md.
+    return (line / hier()->params().l1d.line) % _frames.size();
+}
+
+std::uint32_t
+Dbcp::updateSignature(std::uint32_t sig, Addr pc) const
+{
+    std::uint32_t enc = static_cast<std::uint32_t>(pc >> 2);
+    if (_fixed) {
+        // The article omitted this pre-hash; without it, nearby PCs
+        // alias heavily in the correlation table (the reverse-
+        // engineering error the authors helped the paper fix).
+        enc *= 0x9e3779b9u;
+        enc ^= enc >> 16;
+    }
+    return (sig << 1) ^ enc;
+}
+
+std::uint64_t
+Dbcp::corrKey(Addr line, std::uint32_t sig) const
+{
+    return ((line >> 5) * 0x9e3779b97f4a7c15ull) ^ sig;
+}
+
+Dbcp::CorrEntry *
+Dbcp::findCorr(std::uint64_t key)
+{
+    const std::uint64_t sets = _effective_entries / _p.table_assoc;
+    const std::uint64_t set = key % sets;
+    for (unsigned w = 0; w < _p.table_assoc; ++w) {
+        CorrEntry &e = _corr[set * _p.table_assoc + w];
+        if (e.key == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+Dbcp::CorrEntry &
+Dbcp::allocCorr(std::uint64_t key)
+{
+    const std::uint64_t sets = _effective_entries / _p.table_assoc;
+    const std::uint64_t set = key % sets;
+    CorrEntry *victim = &_corr[set * _p.table_assoc];
+    for (unsigned w = 0; w < _p.table_assoc; ++w) {
+        CorrEntry &e = _corr[set * _p.table_assoc + w];
+        if (e.key == key)
+            return e;
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    victim->key = key;
+    victim->confidence = 0;
+    victim->successor = 0;
+    return *victim;
+}
+
+void
+Dbcp::learn(Addr dead_line, std::uint32_t sig, Addr successor)
+{
+    const std::uint64_t key = corrKey(dead_line, sig);
+    CorrEntry &e = allocCorr(key);
+    ++table_writes;
+    const auto succ_id = static_cast<std::uint32_t>(successor >> 5);
+    if (e.successor == succ_id) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0 && _fixed) {
+            // Stale signature: decay instead of thrashing (the
+            // second documented omission in the article).
+            --e.confidence;
+        } else {
+            e.successor = succ_id;
+            e.confidence = 1;
+        }
+    }
+    e.stamp = ++_tick;
+}
+
+void
+Dbcp::maybePredict(Addr line, std::uint32_t sig, Cycle now)
+{
+    const std::uint64_t key = corrKey(line, sig);
+    ++table_reads;
+    CorrEntry *e = findCorr(key);
+    if (!e || e->confidence < 2)
+        return;
+    e->stamp = ++_tick;
+    const Addr target = static_cast<Addr>(e->successor) << 5;
+    issueBufferFetch(_queue, *_buffer, target, now);
+}
+
+void
+Dbcp::cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                  bool first_use)
+{
+    (void)first_use;
+    if (lvl != CacheLevel::L1D)
+        return;
+    if (!hit) {
+        // The first access of the new generation contributes to its
+        // signature too; the refill hook picks it up.
+        _last_miss_pc = req.pc;
+        return;
+    }
+    const Addr line = l1LineAddr(req.addr);
+    FrameState &f = _frames[frameIndex(line)];
+    if (f.line != line) {
+        // The frame changed under us (side fill path): restart.
+        f.line = line;
+        f.signature = 0;
+    }
+    f.signature = updateSignature(f.signature, req.pc);
+    maybePredict(line, f.signature, req.when);
+}
+
+void
+Dbcp::cacheEvict(CacheLevel lvl, Addr line, bool dirty, Cycle now)
+{
+    (void)dirty;
+    (void)now;
+    if (lvl != CacheLevel::L1D)
+        return;
+    FrameState &f = _frames[frameIndex(line)];
+    PendingDeath &pd = _pending[(line / hier()->params().l1d.line) %
+                                _l1_sets];
+    pd.line = line;
+    pd.signature = (f.line == line) ? f.signature : 0;
+    pd.valid = true;
+}
+
+void
+Dbcp::cacheRefill(CacheLevel lvl, Addr line, AccessKind cause,
+                  Cycle now)
+{
+    (void)cause;
+    (void)now;
+    if (lvl != CacheLevel::L1D)
+        return;
+    const std::uint64_t set =
+        (line / hier()->params().l1d.line) % _l1_sets;
+    PendingDeath &pd = _pending[set];
+    if (pd.valid && pd.line != line) {
+        learn(pd.line, pd.signature, line);
+        pd.valid = false;
+    }
+    FrameState &f = _frames[frameIndex(line)];
+    f.line = line;
+    // Generations of lines that are only ever missed (pointer
+    // chains) still get a one-PC signature and an immediate death
+    // check — without this, miss-dominated lines never predict.
+    f.signature = updateSignature(0, _last_miss_pc);
+    maybePredict(line, f.signature, now);
+}
+
+bool
+Dbcp::cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                     Cycle &extra_latency)
+{
+    if (lvl != CacheLevel::L1D || !_buffer)
+        return false;
+    if (_buffer->probeAndTake(line, now, extra_latency)) {
+        ++side_hits;
+        return true;
+    }
+    return false;
+}
+
+std::vector<SramSpec>
+Dbcp::hardware() const
+{
+    // Correlation entry: key tag ~4 B + successor 4 B + conf: ~8 B.
+    return {
+        {"dbcp.correlation_table",
+         static_cast<std::uint64_t>(_effective_entries) * 8,
+         _p.table_assoc, 1},
+        {"dbcp.history", _p.history_entries * 8, 1, 1},
+        {"dbcp.buffer",
+         _p.buffer_lines * (hier() ? hier()->params().l1d.line : 32),
+         0, 1},
+    };
+}
+
+void
+Dbcp::describe(ParamTable &t) const
+{
+    t.section("Dead-Block Correlating Prefetcher");
+    t.add("History entries", _p.history_entries);
+    t.add("Correlation entries", _effective_entries);
+    t.add("Correlation assoc", _p.table_assoc);
+    t.add("Request Queue Size", _p.request_queue);
+    t.add("Variant", _fixed ? "fixed" : "initial (second-guessed)");
+}
+
+} // namespace microlib

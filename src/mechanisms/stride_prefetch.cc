@@ -1,0 +1,111 @@
+#include "mechanisms/stride_prefetch.hh"
+
+namespace microlib
+{
+
+StridePrefetch::StridePrefetch(const MechanismConfig &cfg) : StridePrefetch(cfg, Params())
+{
+}
+
+StridePrefetch::StridePrefetch(const MechanismConfig &cfg,
+                               const Params &p)
+    : CacheMechanism("SP", cfg), _p(p), _queue(p.request_queue),
+      _table(p.pc_entries)
+{
+}
+
+StridePrefetch::Entry &
+StridePrefetch::entryFor(Addr pc)
+{
+    // Direct-mapped on the word-granular PC.
+    return _table[(pc >> 2) % _table.size()];
+}
+
+void
+StridePrefetch::cacheAccess(CacheLevel lvl, const MemRequest &req,
+                            bool hit, bool first_use)
+{
+    (void)hit;
+    (void)first_use;
+    // Train on the full L1 reference stream (the RPT sits beside the
+    // load/store unit); prefetch into the L2.
+    if (lvl != CacheLevel::L1D)
+        return;
+
+    ++table_reads;
+    Entry &e = entryFor(req.pc);
+
+    if (e.pc != req.pc) {
+        // Replace: fresh entry in Init.
+        e.pc = req.pc;
+        e.last_addr = req.addr;
+        e.stride = 0;
+        e.state = State::Init;
+        ++table_writes;
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(req.addr) -
+        static_cast<std::int64_t>(e.last_addr);
+
+    switch (e.state) {
+      case State::Init:
+        e.stride = stride;
+        e.state = State::Transient;
+        break;
+      case State::Transient:
+        e.state = (stride == e.stride && stride != 0) ? State::Steady
+                                                      : State::Init;
+        e.stride = stride;
+        break;
+      case State::Steady:
+        if (stride != e.stride)
+            e.state = State::Init;
+        e.stride = stride;
+        break;
+    }
+    e.last_addr = req.addr;
+    ++table_writes;
+
+    if (e.state == State::Steady && e.stride != 0) {
+        // Push the target at least lookahead_lines L2 lines ahead so
+        // small strides still cover new lines in time.
+        const std::int64_t line =
+            static_cast<std::int64_t>(l2LineBytes());
+        const std::int64_t mag =
+            e.stride < 0 ? -e.stride : e.stride;
+        const std::int64_t k = std::max<std::int64_t>(
+            1, (line * _p.lookahead_lines + mag - 1) / mag);
+        for (unsigned d = 0; d < _p.degree; ++d) {
+            const Addr target = static_cast<Addr>(
+                static_cast<std::int64_t>(req.addr) +
+                e.stride * (k + static_cast<std::int64_t>(d)));
+            const Addr target_line = l2LineAddr(target);
+            if (target_line == e.last_prefetch)
+                continue; // already requested this line
+            if (issueL2Prefetch(_queue, target, req.pc, req.when))
+                e.last_prefetch = target_line;
+        }
+    }
+}
+
+std::vector<SramSpec>
+StridePrefetch::hardware() const
+{
+    // Entry: tag + last addr + stride + state ~ 16 bytes.
+    return {
+        {"sp.rpt", static_cast<std::uint64_t>(_p.pc_entries) * 16, 1, 1},
+        {"sp.request_queue", _p.request_queue * 8, 0, 1},
+    };
+}
+
+void
+StridePrefetch::describe(ParamTable &t) const
+{
+    t.section("Stride Prefetching");
+    t.add("PC entries", _p.pc_entries);
+    t.add("Request Queue Size", _p.request_queue);
+}
+
+} // namespace microlib

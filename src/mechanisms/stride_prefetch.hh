@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SP — Stride Prefetching (Chen & Baer 1992 / Fu, Patel & Janssens),
+ * attached to the L2.
+ *
+ * A 512-entry PC-indexed reference prediction table tracks the stride
+ * of each static load with the classic init/transient/steady state
+ * machine; once steady, every access prefetches address + stride.
+ * Table 3: 512 PC entries, request queue of 1. The paper's Figure 4
+ * finds this 1990s idea the second best performer overall, and
+ * Figure 5 the best performance/cost/power trade-off.
+ */
+
+#ifndef MICROLIB_MECHANISMS_STRIDE_PREFETCH_HH
+#define MICROLIB_MECHANISMS_STRIDE_PREFETCH_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Reference-prediction-table stride prefetcher. */
+class StridePrefetch : public CacheMechanism
+{
+  public:
+    struct Params
+    {
+        unsigned pc_entries = 512; ///< Table 3
+        unsigned request_queue = 1;
+        unsigned degree = 1;       ///< prefetches per trigger
+        /** Prefetch distance in L2 lines: for strides smaller than a
+         *  line the target is pushed this many lines ahead so the
+         *  prefetch covers a *new* line in time (Chen & Baer's
+         *  lookahead PC plays this role in the original design). */
+        unsigned lookahead_lines = 2;
+    };
+
+    explicit StridePrefetch(const MechanismConfig &cfg);
+
+    StridePrefetch(const MechanismConfig &cfg,
+                   const Params &p);
+
+    void cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                     bool first_use) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+
+    /** Expose for unit tests. */
+    enum class State : std::uint8_t { Init, Transient, Steady };
+
+  private:
+    struct Entry
+    {
+        Addr pc = invalid_addr;
+        Addr last_addr = 0;
+        Addr last_prefetch = invalid_addr; ///< line, dedup filter
+        std::int64_t stride = 0;
+        State state = State::Init;
+    };
+
+    Params _p;
+    RequestQueue _queue;
+    std::vector<Entry> _table;
+
+    Entry &entryFor(Addr pc);
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_STRIDE_PREFETCH_HH

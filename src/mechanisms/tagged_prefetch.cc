@@ -1,0 +1,54 @@
+#include "mechanisms/tagged_prefetch.hh"
+
+namespace microlib
+{
+
+TaggedPrefetch::TaggedPrefetch(const MechanismConfig &cfg) : TaggedPrefetch(cfg, Params())
+{
+}
+
+TaggedPrefetch::TaggedPrefetch(const MechanismConfig &cfg,
+                               const Params &p)
+    : CacheMechanism("TP", cfg), _p(p), _queue(p.request_queue)
+{
+}
+
+void
+TaggedPrefetch::cacheAccess(CacheLevel lvl, const MemRequest &req,
+                            bool hit, bool first_use)
+{
+    if (lvl != CacheLevel::L2)
+        return;
+
+    // Prefetch the next line on a miss, or on the first demand hit
+    // to a line a prefetch brought in.
+    const bool trigger = !hit || first_use;
+    if (!trigger)
+        return;
+
+    const Addr next = l2LineAddr(req.addr) + l2LineBytes();
+    issueL2Prefetch(_queue, next, req.pc, req.when);
+}
+
+std::vector<SramSpec>
+TaggedPrefetch::hardware() const
+{
+    // The per-line tag bit lives in the L2 array; the incremental
+    // structures are the tag bits plus the request queue.
+    const std::uint64_t l2_lines =
+        hier() ? hier()->params().l2.size / hier()->params().l2.line
+               : 16384;
+    return {
+        {"tp.tag_bits", l2_lines / 8, 1, 1},
+        {"tp.request_queue", _p.request_queue * 8, 0, 1},
+    };
+}
+
+void
+TaggedPrefetch::describe(ParamTable &t) const
+{
+    t.section("Tagged Prefetching");
+    t.add("Request Queue Size", _p.request_queue);
+}
+
+} // namespace microlib

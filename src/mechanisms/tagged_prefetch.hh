@@ -1,0 +1,49 @@
+/**
+ * @file
+ * TP — Tagged Prefetching (Smith 1982), attached to the L2.
+ *
+ * One of the very first prefetching techniques: prefetch the next
+ * sequential line on a miss, and again on the first hit to a
+ * prefetched line (the "tag bit"). The tag bit itself is tracked by
+ * the cache model (Cache::linePrefetched / first_use); this mechanism
+ * adds only the 16-entry request queue of Table 3 — which is why the
+ * paper finds TP nearly free in area and power (Figure 5) yet
+ * surprisingly competitive in performance (Figure 4).
+ */
+
+#ifndef MICROLIB_MECHANISMS_TAGGED_PREFETCH_HH
+#define MICROLIB_MECHANISMS_TAGGED_PREFETCH_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Tagged next-line prefetcher at the L2. */
+class TaggedPrefetch : public CacheMechanism
+{
+  public:
+    struct Params
+    {
+        unsigned request_queue = 16; ///< Table 3
+    };
+
+    explicit TaggedPrefetch(const MechanismConfig &cfg);
+
+    TaggedPrefetch(const MechanismConfig &cfg,
+                   const Params &p);
+
+    void cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                     bool first_use) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+
+  private:
+    Params _p;
+    RequestQueue _queue;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_TAGGED_PREFETCH_HH

@@ -1,0 +1,132 @@
+#include "mechanisms/tcp.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+unsigned
+resolveQueue(const MechanismConfig &cfg, const Tcp::Params &p)
+{
+    if (p.request_queue != 0)
+        return p.request_queue;
+    // The Figure 10 knob: the article left the buffer size unstated.
+    // Confirmed build: 128; second-guessed build: 1.
+    if (cfg.second_guess)
+        return 1;
+    return cfg.tcp_buffer == 0 ? 128 : cfg.tcp_buffer;
+}
+
+} // namespace
+
+Tcp::Tcp(const MechanismConfig &cfg) : Tcp(cfg, Params())
+{
+}
+
+Tcp::Tcp(const MechanismConfig &cfg, const Params &p)
+    : CacheMechanism("TCP", cfg), _p(p),
+      _queue(resolveQueue(cfg, p)), _tht(p.tht_sets),
+      _pht(static_cast<std::size_t>(p.pht_sets) * p.pht_assoc)
+{
+}
+
+std::uint64_t
+Tcp::phtKey(std::uint64_t set, std::uint64_t t1, std::uint64_t t2) const
+{
+    std::uint64_t k = set;
+    k = k * 0x9e3779b97f4a7c15ull + t1;
+    k = k * 0x9e3779b97f4a7c15ull + t2;
+    k ^= k >> 29;
+    return k;
+}
+
+void
+Tcp::cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                 bool first_use)
+{
+    (void)first_use;
+    if (lvl != CacheLevel::L2 || hit)
+        return; // trains on the L2 miss stream
+
+    const auto &l2 = hier()->params().l2;
+    const std::uint64_t l2_sets = l2.size / (l2.line * l2.assoc);
+    const std::uint64_t set = (req.addr / l2.line) % l2_sets;
+    const std::uint64_t tag = (req.addr / l2.line) / l2_sets;
+
+    ThtEntry &h = _tht[set % _p.tht_sets];
+    if (h.set_tag != set) {
+        // Different L2 set mapped here: start a fresh history.
+        h.set_tag = set;
+        h.tags[0] = ~0ull;
+        h.tags[1] = ~0ull;
+    }
+    const std::uint64_t t1 = h.tags[0];
+    const std::uint64_t t2 = h.tags[1];
+    ++table_reads;
+
+    // Learn: the pattern (t2, t1) in this set is followed by `tag`.
+    if (t1 != ~0ull && t2 != ~0ull) {
+        const std::uint64_t key = phtKey(set, t2, t1);
+        const std::uint64_t pht_set = key % _p.pht_sets;
+        PhtEntry *victim = &_pht[pht_set * _p.pht_assoc];
+        for (unsigned w = 0; w < _p.pht_assoc; ++w) {
+            PhtEntry &e = _pht[pht_set * _p.pht_assoc + w];
+            if (e.key == key) {
+                victim = &e;
+                break;
+            }
+            if (e.stamp < victim->stamp)
+                victim = &e;
+        }
+        victim->key = key;
+        victim->next_tag = tag;
+        victim->stamp = ++_tick;
+        ++table_writes;
+    }
+
+    // Shift the history and predict from the new pattern (t1, tag).
+    h.tags[1] = t1;
+    h.tags[0] = tag;
+
+    if (t1 != ~0ull) {
+        const std::uint64_t key = phtKey(set, t1, tag);
+        const std::uint64_t pht_set = key % _p.pht_sets;
+        for (unsigned w = 0; w < _p.pht_assoc; ++w) {
+            PhtEntry &e = _pht[pht_set * _p.pht_assoc + w];
+            if (e.key != key)
+                continue;
+            e.stamp = ++_tick;
+            const Addr target =
+                (e.next_tag * l2_sets + set) * l2.line;
+            if (target != l2LineAddr(req.addr))
+                issueL2Prefetch(_queue, target, req.pc, req.when);
+            break;
+        }
+    }
+}
+
+std::vector<SramSpec>
+Tcp::hardware() const
+{
+    // THT entry: 2 tags ~ 8 B.
+    return {
+        {"tcp.tht", static_cast<std::uint64_t>(_p.tht_sets) * 8, 1, 1},
+        {"tcp.pht", _p.pht_bytes, _p.pht_assoc, 1},
+        {"tcp.request_queue", _queue.capacity() * 8ull, 0, 1},
+    };
+}
+
+void
+Tcp::describe(ParamTable &t) const
+{
+    t.section("Tag Correlating Prefetching");
+    t.add("THT size", std::to_string(_p.tht_sets) +
+                          " sets, direct-mapped, 2 previous tags");
+    t.add("PHT size", std::to_string(_p.pht_bytes / 1024) + "KB, " +
+                          std::to_string(_p.pht_sets) + " set, " +
+                          std::to_string(_p.pht_assoc) + " way");
+    t.add("Request Queue Size", _queue.capacity());
+}
+
+} // namespace microlib

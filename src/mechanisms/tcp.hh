@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TCP — Tag Correlating Prefetching (Hu, Martonosi & Kaxiras 2003),
+ * at the L2.
+ *
+ * Correlates *tag sequences* per cache set: a Tag History Table
+ * (1024 sets, two previous tags each, Table 3) feeds a Pattern
+ * History Table (8 KB, 256 sets, 8-way) that maps a (set, tag, tag)
+ * pattern to the likely next-missing tag, which is prefetched into
+ * the same set.
+ *
+ * The paper's Figure 10 case study lives here: the article never
+ * states how prefetch requests are buffered towards memory. The
+ * confirmed build uses a 128-entry prefetch buffer; the
+ * second-guessed build uses a single entry — the difference is tiny
+ * on crafty/eon and dramatic on lucas/mgrid/art.
+ */
+
+#ifndef MICROLIB_MECHANISMS_TCP_HH
+#define MICROLIB_MECHANISMS_TCP_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Tag-correlating prefetcher. */
+class Tcp : public CacheMechanism
+{
+  public:
+    struct Params
+    {
+        unsigned tht_sets = 1024;   ///< Table 3, direct-mapped
+        unsigned tht_depth = 2;     ///< previous tags kept
+        std::uint64_t pht_bytes = 8 * 1024; ///< Table 3
+        unsigned pht_sets = 256;
+        unsigned pht_assoc = 8;
+        /** 0 = take MechanismConfig::tcp_buffer (Figure 10 knob). */
+        unsigned request_queue = 0;
+    };
+
+    explicit Tcp(const MechanismConfig &cfg);
+
+    Tcp(const MechanismConfig &cfg, const Params &p);
+
+    void cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                     bool first_use) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+
+    unsigned queueCapacity() const { return _queue.capacity(); }
+
+  private:
+    struct ThtEntry
+    {
+        /** Which L2 set this history belongs to; the THT is smaller
+         *  than the L2's set count, so it acts as a direct-mapped
+         *  cache of per-set histories (mixing aliased sets' tags
+         *  would corrupt every pattern). */
+        std::uint64_t set_tag = ~0ull;
+        std::uint64_t tags[2] = {~0ull, ~0ull};
+    };
+
+    struct PhtEntry
+    {
+        std::uint64_t key = ~0ull;
+        std::uint64_t next_tag = 0;
+        std::uint64_t stamp = 0;
+    };
+
+    Params _p;
+    RequestQueue _queue;
+    std::vector<ThtEntry> _tht;
+    std::vector<PhtEntry> _pht;
+    std::uint64_t _tick = 0;
+
+    std::uint64_t phtKey(std::uint64_t set, std::uint64_t t1,
+                         std::uint64_t t2) const;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_TCP_HH

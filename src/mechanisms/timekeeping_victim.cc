@@ -1,0 +1,121 @@
+#include "mechanisms/timekeeping_victim.hh"
+
+namespace microlib
+{
+
+TimekeepingVictim::TimekeepingVictim(const MechanismConfig &cfg) : TimekeepingVictim(cfg, Params())
+{
+}
+
+TimekeepingVictim::TimekeepingVictim(const MechanismConfig &cfg,
+                                     const Params &p)
+    : CacheMechanism("TKVC", cfg), _p(p), _fixed(!cfg.second_guess)
+{
+}
+
+void
+TimekeepingVictim::bind(Hierarchy &hier)
+{
+    CacheMechanism::bind(hier);
+    const auto &l1 = hier.params().l1d;
+    const unsigned lines = static_cast<unsigned>(_p.bytes / l1.line);
+    _buffer = std::make_unique<LineBuffer>(lines, l1.line);
+    _last_access.assign(l1.size / l1.line, 0);
+    _frame_line.assign(l1.size / l1.line, invalid_addr);
+}
+
+std::uint64_t
+TimekeepingVictim::frameIndex(Addr line) const
+{
+    return (line / l1LineBytes()) % _last_access.size();
+}
+
+void
+TimekeepingVictim::cacheAccess(CacheLevel lvl, const MemRequest &req,
+                               bool hit, bool first_use)
+{
+    (void)first_use;
+    if (lvl != CacheLevel::L1D || !hit)
+        return;
+    const Addr line = l1LineAddr(req.addr);
+    const std::uint64_t f = frameIndex(line);
+    _last_access[f] = req.when;
+    _frame_line[f] = line;
+}
+
+void
+TimekeepingVictim::cacheRefill(CacheLevel lvl, Addr line,
+                               AccessKind cause, Cycle now)
+{
+    (void)cause;
+    if (lvl != CacheLevel::L1D)
+        return;
+    // A fill starts the line's generation clock — lines that are
+    // missed but never hit would otherwise carry no timing at all.
+    const std::uint64_t f = frameIndex(line);
+    _last_access[f] = now;
+    _frame_line[f] = line;
+}
+
+void
+TimekeepingVictim::cacheEvict(CacheLevel lvl, Addr line, bool dirty,
+                              Cycle now)
+{
+    (void)dirty;
+    if (lvl != CacheLevel::L1D || !_buffer)
+        return;
+
+    const std::uint64_t f = frameIndex(line);
+    Cycle idle = 0;
+    if (_frame_line[f] == line && now > _last_access[f])
+        idle = now - _last_access[f];
+    if (_fixed)
+        idle = (idle / _p.refresh) * _p.refresh;
+
+    // A line evicted shortly after use was likely a conflict victim:
+    // keep it. Long-idle lines are dead: filter them out.
+    if (idle < _p.live_threshold) {
+        ++admitted;
+        ++table_writes;
+        _buffer->insert(line, now);
+    } else {
+        ++filtered;
+    }
+}
+
+bool
+TimekeepingVictim::cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                                  Cycle &extra_latency)
+{
+    if (lvl != CacheLevel::L1D || !_buffer)
+        return false;
+    ++table_reads;
+    if (_buffer->probeAndTake(line, now, extra_latency)) {
+        ++side_hits;
+        return true;
+    }
+    return false;
+}
+
+std::vector<SramSpec>
+TimekeepingVictim::hardware() const
+{
+    const std::uint64_t l1_lines =
+        hier() ? hier()->params().l1d.size / hier()->params().l1d.line
+               : 1024;
+    return {
+        {"tkvc.array", _p.bytes, 0, 1},
+        {"tkvc.counters", l1_lines * 2, 1, 1},
+    };
+}
+
+void
+TimekeepingVictim::describe(ParamTable &t) const
+{
+    t.section("Timekeeping Victim Cache");
+    t.add("Size", _p.bytes);
+    t.add("Associativity", "full");
+    t.add("Live threshold", _p.live_threshold);
+}
+
+} // namespace microlib

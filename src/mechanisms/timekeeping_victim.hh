@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TKVC — Timekeeping Victim Cache (Hu, Kaxiras & Martonosi 2002), at
+ * the L1.
+ *
+ * A victim cache that admits selectively: timekeeping's reuse-time
+ * prediction classifies each evicted line as "will be used again
+ * soon" (a premature, conflict-style eviction — keep it) or "dead"
+ * (do not pollute the 512-byte victim space). The filter is the idle
+ * time of the line at eviction: short idle time means the line was
+ * still live.
+ */
+
+#ifndef MICROLIB_MECHANISMS_TIMEKEEPING_VICTIM_HH
+#define MICROLIB_MECHANISMS_TIMEKEEPING_VICTIM_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Reuse-filtered victim cache. */
+class TimekeepingVictim : public CacheMechanism
+{
+  public:
+    struct Params
+    {
+        std::uint64_t bytes = 512;  ///< Table 3
+        Cycle refresh = 512;
+        Cycle live_threshold = 1023; ///< idle below this = still live
+    };
+
+    explicit TimekeepingVictim(const MechanismConfig &cfg);
+
+    TimekeepingVictim(const MechanismConfig &cfg,
+                      const Params &p);
+
+    void bind(Hierarchy &hier) override;
+
+    void cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                     bool first_use) override;
+    bool cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                        Cycle &extra_latency) override;
+    void cacheEvict(CacheLevel lvl, Addr line, bool dirty,
+                    Cycle now) override;
+    void cacheRefill(CacheLevel lvl, Addr line, AccessKind cause,
+                     Cycle now) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+
+    Counter admitted;
+    Counter filtered;
+
+  private:
+    Params _p;
+    bool _fixed;
+    std::unique_ptr<LineBuffer> _buffer;
+    std::vector<Cycle> _last_access; ///< per L1 frame
+    std::vector<Addr> _frame_line;
+
+    std::uint64_t frameIndex(Addr line) const;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_TIMEKEEPING_VICTIM_HH

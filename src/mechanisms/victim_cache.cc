@@ -1,0 +1,68 @@
+#include "mechanisms/victim_cache.hh"
+
+namespace microlib
+{
+
+VictimCache::VictimCache(const MechanismConfig &cfg) : VictimCache(cfg, Params())
+{
+}
+
+VictimCache::VictimCache(const MechanismConfig &cfg, const Params &p)
+    : CacheMechanism("VC", cfg), _p(p)
+{
+}
+
+void
+VictimCache::bind(Hierarchy &hier)
+{
+    CacheMechanism::bind(hier);
+    const unsigned lines = static_cast<unsigned>(
+        _p.bytes / hier.params().l1d.line);
+    _buffer = std::make_unique<LineBuffer>(lines,
+                                           hier.params().l1d.line);
+}
+
+bool
+VictimCache::cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                            Cycle &extra_latency)
+{
+    if (lvl != CacheLevel::L1D)
+        return false;
+    ++table_reads;
+    if (_buffer->probeAndTake(line, now, extra_latency)) {
+        // Swap: the line returns to the L1; the L1's victim arrives
+        // via cacheEvict when the install evicts it.
+        ++side_hits;
+        return true;
+    }
+    return false;
+}
+
+void
+VictimCache::cacheEvict(CacheLevel lvl, Addr line, bool dirty,
+                        Cycle now)
+{
+    (void)dirty;
+    if (lvl != CacheLevel::L1D)
+        return;
+    ++table_writes;
+    _buffer->insert(line, now);
+}
+
+std::vector<SramSpec>
+VictimCache::hardware() const
+{
+    return {
+        {"vc.array", _p.bytes, 0, 1}, // fully associative
+    };
+}
+
+void
+VictimCache::describe(ParamTable &t) const
+{
+    t.section("Victim Cache");
+    t.add("Size", _p.bytes);
+    t.add("Associativity", "full");
+}
+
+} // namespace microlib

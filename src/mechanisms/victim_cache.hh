@@ -1,0 +1,51 @@
+/**
+ * @file
+ * VC — Victim Cache (Jouppi 1990), attached to the L1.
+ *
+ * A small fully-associative cache holding recently evicted lines;
+ * on an L1 miss that hits the victim cache the line swaps back,
+ * converting direct-mapped conflict misses into one-cycle side hits.
+ * Table 3: 512 bytes, fully associative (16 lines of 32 B).
+ */
+
+#ifndef MICROLIB_MECHANISMS_VICTIM_CACHE_HH
+#define MICROLIB_MECHANISMS_VICTIM_CACHE_HH
+
+#include "core/mechanism.hh"
+
+namespace microlib
+{
+
+/** Classic victim cache at the L1. */
+class VictimCache : public CacheMechanism
+{
+  public:
+    struct Params
+    {
+        std::uint64_t bytes = 512; ///< Table 3
+    };
+
+    explicit VictimCache(const MechanismConfig &cfg);
+
+    VictimCache(const MechanismConfig &cfg, const Params &p);
+
+    void bind(Hierarchy &hier) override;
+
+    bool cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                        Cycle &extra_latency) override;
+    void cacheEvict(CacheLevel lvl, Addr line, bool dirty,
+                    Cycle now) override;
+
+    std::vector<SramSpec> hardware() const override;
+    void describe(ParamTable &t) const override;
+
+    const LineBuffer &buffer() const { return *_buffer; }
+
+  private:
+    Params _p;
+    std::unique_ptr<LineBuffer> _buffer;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MECHANISMS_VICTIM_CACHE_HH

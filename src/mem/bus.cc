@@ -1,0 +1,34 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+Bus::Bus(const BusParams &p) : _p(p), _beats(1)
+{
+    if (p.bytes_per_beat == 0 || p.cycles_per_beat == 0)
+        fatal("bus '", p.name, "': zero beat size or duration");
+}
+
+Cycle
+Bus::transfer(Cycle when, std::uint64_t bytes)
+{
+    const std::uint64_t beats =
+        std::max<std::uint64_t>(1, divCeil(bytes, _p.bytes_per_beat));
+    ++_transfers;
+    _busy_cycles += beats * _p.cycles_per_beat;
+
+    // Each beat occupies the bus for cycles_per_beat cycles; book
+    // beat slots at that granularity.
+    Cycle t = when;
+    for (std::uint64_t b = 0; b < beats; ++b) {
+        const Cycle slot = _beats.acquire(t / _p.cycles_per_beat);
+        t = (slot + 1) * _p.cycles_per_beat;
+    }
+    return t;
+}
+
+} // namespace microlib

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared bus with beat-granular occupancy.
+ *
+ * Two instances appear in the baseline system (Table 1): the 32-byte
+ * L1/L2 bus at core frequency and the 64-byte 400 MHz front-side bus
+ * (5 CPU cycles per beat). Prefetch traffic competes with demand
+ * traffic here, which is how prefetcher-induced slowdowns (lucas
+ * under GHB, Figure 8) arise.
+ */
+
+#ifndef MICROLIB_MEM_BUS_HH
+#define MICROLIB_MEM_BUS_HH
+
+#include <string>
+
+#include "mem/resource.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Bus configuration. */
+struct BusParams
+{
+    std::string name = "bus";
+    std::uint64_t bytes_per_beat = 32;
+    Cycle cycles_per_beat = 1;   ///< CPU cycles per bus beat
+};
+
+/**
+ * Split-transaction bus: each beat books one bus cycle; beats of
+ * different transfers may interleave, and a transfer booked in the
+ * future does not starve an earlier-arriving one (backfill).
+ */
+class Bus
+{
+  public:
+    explicit Bus(const BusParams &p);
+
+    /**
+     * Occupy the bus for @p bytes starting no earlier than @p when.
+     * @return the cycle the transfer completes.
+     */
+    Cycle transfer(Cycle when, std::uint64_t bytes);
+
+    const BusParams &params() const { return _p; }
+    const Counter &transfers() const { return _transfers; }
+    const Counter &busyCycles() const { return _busy_cycles; }
+
+  private:
+    BusParams _p;
+    ResourceSchedule _beats;
+    Counter _transfers;
+    Counter _busy_cycles;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_BUS_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Detailed pipelined cache model.
+ *
+ * This is the MicroLib cache the paper validates against SimpleScalar
+ * (Section 2.2): it differs from the SimpleScalar model in exactly the
+ * four documented ways, each controlled by a realism flag so the
+ * Figure 1 experiment can toggle them one at a time:
+ *
+ *  - finite MSHR file (SimpleScalar: unlimited),
+ *  - pipeline stalls (a request can delay the next; MSHR busy cycle),
+ *  - back-pressure to the LSQ (exposed via delayed acceptance),
+ *  - refills consume real cache ports (SimpleScalar: free ports).
+ *
+ * Mechanisms observe the cache through the CacheHooks interface:
+ * demand accesses, miss-probes (victim caches and prefetch buffers can
+ * supply a missing line from a side structure), evictions and refills.
+ */
+
+#ifndef MICROLIB_MEM_CACHE_HH
+#define MICROLIB_MEM_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/mshr.hh"
+#include "mem/bus.hh"
+#include "mem/replacement.hh"
+#include "mem/request.hh"
+#include "mem/resource.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Observer interface for cache mechanisms (wired by the Hierarchy). */
+class CacheHooks
+{
+  public:
+    virtual ~CacheHooks() = default;
+
+    /** Demand access outcome (called for loads/stores/ifetches).
+     *  @param first_use true when this is the first demand hit on a
+     *  line brought in by a prefetch. */
+    virtual void
+    onAccess(const MemRequest &req, bool hit, bool first_use)
+    {
+        (void)req; (void)hit; (void)first_use;
+    }
+
+    /**
+     * Demand miss: offer the line from a side structure (victim
+     * cache, frequent-value cache, prefetch buffer). Returning true
+     * claims the miss; the line is installed in the cache and the
+     * access completes after @p extra_latency additional cycles.
+     */
+    virtual bool
+    onMissProbe(Addr line_addr, Cycle now, Cycle &extra_latency)
+    {
+        (void)line_addr; (void)now; (void)extra_latency;
+        return false;
+    }
+
+    /** A line leaves the cache. */
+    virtual void
+    onEvict(Addr line_addr, bool dirty, Cycle now)
+    {
+        (void)line_addr; (void)dirty; (void)now;
+    }
+
+    /** A line enters the cache. @p cause distinguishes demand fills
+     *  from prefetch fills. */
+    virtual void
+    onRefill(Addr line_addr, AccessKind cause, Cycle now)
+    {
+        (void)line_addr; (void)cause; (void)now;
+    }
+};
+
+/** Cache geometry, timing and realism flags. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size = 32 * 1024;
+    std::uint64_t line = 32;
+    unsigned assoc = 1;
+    unsigned ports = 4;
+    Cycle latency = 1;
+    unsigned mshrs = 8;
+    unsigned reads_per_mshr = 4;
+
+    // Realism flags (all true = MicroLib model, all false =
+    // SimpleScalar-like model; Figures 1 and 9).
+    bool finite_mshr = true;
+    bool pipeline_stalls = true;
+    bool refill_uses_ports = true;
+    bool port_contention = true;
+};
+
+/** Set-associative write-back write-allocate cache. */
+class Cache : public MemDevice
+{
+  public:
+    /**
+     * @param p geometry/timing
+     * @param parent next level (L2 or memory); may be nullptr for
+     *        tests that treat misses as constant-latency
+     * @param parent_bus bus between this cache and the parent
+     *        (nullptr = direct connection)
+     */
+    Cache(const CacheParams &p, MemDevice *parent, Bus *parent_bus);
+
+    Cycle access(const MemRequest &req) override;
+    const char *deviceName() const override { return _p.name.c_str(); }
+
+    /** Attach/detach the mechanism observer. */
+    void setHooks(CacheHooks *hooks) { _hooks = hooks; }
+
+    /** Tag probe without state change. */
+    bool probe(Addr addr) const;
+
+    /** True if the line is present and was filled by a prefetch and
+     *  not yet used by a demand access. */
+    bool linePrefetched(Addr addr) const;
+
+    /** Invalidate a line (mechanism side structures use this when
+     *  migrating a line out, e.g. victim cache swaps). */
+    void invalidate(Addr addr);
+
+    /** Register this cache's statistics under its name. */
+    void registerStats(StatSet &stats) const;
+
+    const CacheParams &params() const { return _p; }
+    std::uint64_t sets() const { return _sets; }
+    const MshrFile &mshr() const { return _mshr; }
+
+    // Statistics (public read access for the harnesses).
+    Counter demand_accesses;
+    Counter demand_hits;
+    Counter demand_misses;
+    Counter prefetch_accesses;
+    Counter prefetch_fills;
+    Counter prefetch_used;    ///< prefetched lines later hit by demand
+    Counter writebacks;
+    Counter side_fills;       ///< misses satisfied by a side structure
+    Counter delayed_hits;     ///< hits that waited on an in-flight fill
+    Counter evictions;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Cycle ready = 0;   ///< when the fill data actually arrives
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    CacheParams _p;
+    MemDevice *_parent;
+    Bus *_parent_bus;
+    CacheHooks *_hooks = nullptr;
+
+    std::uint64_t _sets;
+    std::vector<Line> _lines; // sets x assoc
+    LruState _lru;
+    MshrFile _mshr;
+
+    ResourceSchedule _ports; ///< one acquisition per port per cycle
+    Cycle _next_accept = 0;
+
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr / _p.line) % _sets;
+    }
+    Addr lineAddr(Addr addr) const { return alignDown(addr, _p.line); }
+    Line &lineAt(std::uint64_t set, unsigned way)
+    {
+        return _lines[set * _p.assoc + way];
+    }
+    const Line &lineAt(std::uint64_t set, unsigned way) const
+    {
+        return _lines[set * _p.assoc + way];
+    }
+
+    /** Way holding @p addr, or -1. */
+    int findWay(Addr addr) const;
+
+    /** Acquire a cache port at or after @p t. */
+    Cycle acquirePort(Cycle t);
+
+    /** Install a line, evicting as needed; returns installed way.
+     *  @param ready cycle the fill data arrives (hits before this
+     *  wait for it — the timestamp-model equivalent of merging with
+     *  an in-flight refill). */
+    unsigned install(Addr line_addr, bool dirty, bool prefetched,
+                     Cycle now, Cycle ready);
+
+    Cycle handleWriteback(const MemRequest &req);
+    Cycle fetchFromParent(Addr line_addr, AccessKind kind, Addr pc,
+                          Cycle when);
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_CACHE_HH

@@ -1,0 +1,72 @@
+#include "mem/cache_simple.hh"
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+const std::vector<RealismFeature> &
+allRealismFeatures()
+{
+    static const std::vector<RealismFeature> features = {
+        RealismFeature::FiniteMshr,
+        RealismFeature::PipelineStalls,
+        RealismFeature::LsqBackpressure,
+        RealismFeature::RefillPorts,
+    };
+    return features;
+}
+
+std::string
+realismFeatureName(RealismFeature f)
+{
+    switch (f) {
+      case RealismFeature::FiniteMshr:
+        return "finite MSHR";
+      case RealismFeature::PipelineStalls:
+        return "pipeline stalls";
+      case RealismFeature::LsqBackpressure:
+        return "LSQ back-pressure";
+      case RealismFeature::RefillPorts:
+        return "refills use ports";
+    }
+    panic("unknown realism feature");
+}
+
+CacheParams
+makeSimpleScalarLike(CacheParams p)
+{
+    p.finite_mshr = false;
+    p.pipeline_stalls = false;
+    p.refill_uses_ports = false;
+    // SimpleScalar does model demand ports, so port_contention stays.
+    return p;
+}
+
+CacheParams
+withRealism(CacheParams p, const std::vector<RealismFeature> &enabled)
+{
+    p = makeSimpleScalarLike(p);
+    for (const auto f : enabled) {
+        switch (f) {
+          case RealismFeature::FiniteMshr:
+            p.finite_mshr = true;
+            break;
+          case RealismFeature::PipelineStalls:
+            p.pipeline_stalls = true;
+            break;
+          case RealismFeature::LsqBackpressure:
+            // Modeled jointly with pipeline stalls: acceptance delays
+            // are what the LSQ observes. The separate enum value lets
+            // experiments report the step distinctly.
+            p.pipeline_stalls = true;
+            break;
+          case RealismFeature::RefillPorts:
+            p.refill_uses_ports = true;
+            break;
+        }
+    }
+    return p;
+}
+
+} // namespace microlib

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SimpleScalar-like cache configuration presets.
+ *
+ * The paper's Figure 1 measures how far SimpleScalar's idealized
+ * cache model sits from the MicroLib one, then closes the gap by
+ * aligning four modeled behaviours. These helpers produce the
+ * corresponding CacheParams so experiments can sweep the alignment
+ * steps one by one.
+ */
+
+#ifndef MICROLIB_MEM_CACHE_SIMPLE_HH
+#define MICROLIB_MEM_CACHE_SIMPLE_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+
+namespace microlib
+{
+
+/** The four modeling differences of Section 2.2, in the paper's
+ *  order of discussion. */
+enum class RealismFeature
+{
+    FiniteMshr,      ///< bounded miss address file
+    PipelineStalls,  ///< requests can delay following requests
+    LsqBackpressure, ///< cache stalls propagate into the core's LSQ
+    RefillPorts,     ///< refills occupy real cache ports
+};
+
+/** All four features, in presentation order. */
+const std::vector<RealismFeature> &allRealismFeatures();
+
+/** Human-readable feature name. */
+std::string realismFeatureName(RealismFeature f);
+
+/** Strip @p p down to the SimpleScalar idealized model. */
+CacheParams makeSimpleScalarLike(CacheParams p);
+
+/** Enable exactly the features in @p enabled on an idealized model. */
+CacheParams withRealism(CacheParams p,
+                        const std::vector<RealismFeature> &enabled);
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_CACHE_SIMPLE_HH

@@ -1,0 +1,4 @@
+#include "mem/const_memory.hh"
+
+// ConstMemory is header-only; this translation unit anchors the
+// component in the library so it appears as a distinct module.

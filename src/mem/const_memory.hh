@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Constant-latency memory: the SimpleScalar model.
+ *
+ * Many of the articles the paper reproduces use SimpleScalar's flat
+ * 70-cycle memory; Figure 8 contrasts it with the SDRAM model. This
+ * device returns after a fixed latency with unlimited bandwidth and
+ * no queueing — exactly the idealization under study.
+ */
+
+#ifndef MICROLIB_MEM_CONST_MEMORY_HH
+#define MICROLIB_MEM_CONST_MEMORY_HH
+
+#include <string>
+
+#include "mem/request.hh"
+#include "sim/stats.hh"
+
+namespace microlib
+{
+
+/** Flat-latency, infinite-bandwidth memory. */
+class ConstMemory : public MemDevice
+{
+  public:
+    explicit ConstMemory(Cycle latency, std::string name = "constmem")
+        : _latency(latency), _name(std::move(name))
+    {}
+
+    Cycle
+    access(const MemRequest &req) override
+    {
+        const bool is_write = req.kind == AccessKind::DemandWrite ||
+                              req.kind == AccessKind::Writeback;
+        if (is_write) {
+            ++writes;
+            return req.when; // posted, free
+        }
+        ++reads;
+        return req.when + _latency;
+    }
+
+    const char *deviceName() const override { return _name.c_str(); }
+
+    void
+    registerStats(StatSet &stats) const
+    {
+        stats.registerCounter(_name + ".reads", &reads);
+        stats.registerCounter(_name + ".writes", &writes);
+    }
+
+    Cycle latency() const { return _latency; }
+
+    Counter reads;
+    Counter writes;
+
+  private:
+    Cycle _latency;
+    std::string _name;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_CONST_MEMORY_HH

@@ -1,0 +1,175 @@
+#include "mem/hierarchy.hh"
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+/** Adapter translating Cache callbacks into client callbacks. */
+struct Hierarchy::LevelHooks : public CacheHooks
+{
+    Hierarchy *owner;
+    CacheLevel level;
+
+    LevelHooks(Hierarchy *h, CacheLevel lvl) : owner(h), level(lvl) {}
+
+    void
+    onAccess(const MemRequest &req, bool hit, bool first_use) override
+    {
+        if (owner->_client)
+            owner->_client->cacheAccess(level, req, hit, first_use);
+    }
+
+    bool
+    onMissProbe(Addr line, Cycle now, Cycle &extra_latency) override
+    {
+        if (owner->_client)
+            return owner->_client->cacheMissProbe(level, line, now,
+                                                  extra_latency);
+        return false;
+    }
+
+    void
+    onEvict(Addr line, bool dirty, Cycle now) override
+    {
+        if (owner->_client)
+            owner->_client->cacheEvict(level, line, dirty, now);
+    }
+
+    void
+    onRefill(Addr line, AccessKind cause, Cycle now) override
+    {
+        if (!owner->_client)
+            return;
+        owner->_client->cacheRefill(level, line, cause, now);
+        if (owner->_client->wantsLineContent(level)) {
+            const auto words = owner->readLine(line, level);
+            owner->_client->lineContent(level, line, words, cause, now);
+        }
+    }
+};
+
+Hierarchy::Hierarchy(const HierarchyParams &p,
+                     std::shared_ptr<const MemoryImage> image)
+    : _p(p), _image(std::move(image))
+{
+    _fsb = std::make_unique<Bus>(p.fsb);
+    _l1l2_bus = std::make_unique<Bus>(p.l1l2_bus);
+
+    if (p.memory == MemoryModelKind::Sdram)
+        _sdram = std::make_unique<Sdram>(p.sdram, _fsb.get());
+    else
+        _constmem = std::make_unique<ConstMemory>(p.const_latency);
+
+    _l2 = std::make_unique<Cache>(p.l2, memoryDevice(), nullptr);
+    _l1d = std::make_unique<Cache>(p.l1d, _l2.get(), _l1l2_bus.get());
+    if (p.model_icache)
+        _l1i = std::make_unique<Cache>(p.l1i, _l2.get(),
+                                       _l1l2_bus.get());
+
+    _l1_hooks = std::make_unique<LevelHooks>(this, CacheLevel::L1D);
+    _l2_hooks = std::make_unique<LevelHooks>(this, CacheLevel::L2);
+    _l1d->setHooks(_l1_hooks.get());
+    _l2->setHooks(_l2_hooks.get());
+}
+
+Hierarchy::~Hierarchy() = default;
+
+MemDevice *
+Hierarchy::memoryDevice()
+{
+    if (_sdram)
+        return _sdram.get();
+    return _constmem.get();
+}
+
+Cycle
+Hierarchy::load(Addr addr, Addr pc, Cycle when)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.kind = AccessKind::DemandRead;
+    req.when = when;
+    req.pc = pc;
+    return _l1d->access(req);
+}
+
+Cycle
+Hierarchy::store(Addr addr, Addr pc, Cycle when)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.kind = AccessKind::DemandWrite;
+    req.when = when;
+    req.pc = pc;
+    return _l1d->access(req);
+}
+
+Cycle
+Hierarchy::ifetch(Addr pc, Cycle when)
+{
+    if (!_l1i)
+        return when + 1;
+    MemRequest req;
+    req.addr = pc;
+    req.kind = AccessKind::DemandRead;
+    req.when = when;
+    req.pc = pc;
+    return _l1i->access(req);
+}
+
+Cycle
+Hierarchy::prefetchIntoL2(Addr addr, Addr pc, Cycle now)
+{
+    MemRequest req;
+    req.addr = addr;
+    req.kind = AccessKind::Prefetch;
+    req.when = now;
+    req.pc = pc;
+    return _l2->access(req);
+}
+
+Cycle
+Hierarchy::fetchForL1Buffer(Addr addr, Cycle now)
+{
+    // The request crosses the L1/L2 bus, queries the L2 (fetching
+    // from memory on an L2 miss) and the line travels back. It never
+    // enters the L1 array: mechanisms keep it in their own buffers.
+    Cycle t = _l1l2_bus->transfer(now, 8);
+
+    MemRequest req;
+    req.addr = addr;
+    req.kind = AccessKind::Prefetch;
+    req.when = t;
+    const Cycle ready = _l2->access(req);
+
+    return _l1l2_bus->transfer(ready, _p.l1d.line);
+}
+
+std::vector<Word>
+Hierarchy::readLine(Addr addr, CacheLevel lvl) const
+{
+    const std::uint64_t bytes =
+        lvl == CacheLevel::L1D ? _p.l1d.line : _p.l2.line;
+    std::vector<Word> words;
+    if (_image)
+        _image->readLine(addr, bytes, words);
+    else
+        words.assign(bytes / 8, 0);
+    return words;
+}
+
+void
+Hierarchy::registerStats(StatSet &stats) const
+{
+    _l1d->registerStats(stats);
+    if (_l1i)
+        _l1i->registerStats(stats);
+    _l2->registerStats(stats);
+    if (_sdram)
+        _sdram->registerStats(stats);
+    if (_constmem)
+        _constmem->registerStats(stats);
+}
+
+} // namespace microlib

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Memory hierarchy: L1I + L1D over a shared L1/L2 bus, a unified L2,
+ * the front-side bus, and a memory model (SDRAM or constant-latency).
+ *
+ * The hierarchy is also the attachment point for data-cache
+ * mechanisms: it forwards cache events to a HierarchyClient (the
+ * mechanism) and offers the prefetch services mechanisms use. The
+ * client interface lives here, below the mechanisms, so the mem
+ * library stays independent of the mechanism library.
+ */
+
+#ifndef MICROLIB_MEM_HIERARCHY_HH
+#define MICROLIB_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/const_memory.hh"
+#include "mem/sdram.hh"
+#include "trace/memory_image.hh"
+
+namespace microlib
+{
+
+/** Which memory model backs the L2 (Figure 8's three points). */
+enum class MemoryModelKind
+{
+    ConstantLatency, ///< SimpleScalar-like flat latency
+    Sdram,           ///< detailed SDRAM (Table 1 timings)
+};
+
+/** Cache level tag used in client callbacks. */
+enum class CacheLevel : std::uint8_t { L1D, L2 };
+
+/** Mechanism-facing event interface (implemented in src/core). */
+class HierarchyClient
+{
+  public:
+    virtual ~HierarchyClient() = default;
+
+    virtual void
+    cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                bool first_use)
+    {
+        (void)lvl; (void)req; (void)hit; (void)first_use;
+    }
+
+    /** Side-structure probe on a demand miss (victim caches,
+     *  prefetch buffers). Return true to supply the line after
+     *  @p extra_latency cycles. */
+    virtual bool
+    cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                   Cycle &extra_latency)
+    {
+        (void)lvl; (void)line; (void)now; (void)extra_latency;
+        return false;
+    }
+
+    virtual void
+    cacheEvict(CacheLevel lvl, Addr line, bool dirty, Cycle now)
+    {
+        (void)lvl; (void)line; (void)dirty; (void)now;
+    }
+
+    virtual void
+    cacheRefill(CacheLevel lvl, Addr line, AccessKind cause, Cycle now)
+    {
+        (void)lvl; (void)line; (void)cause; (void)now;
+    }
+
+    /** Opt in to receive refilled line contents (CDP scans them). */
+    virtual bool wantsLineContent(CacheLevel lvl) const
+    {
+        (void)lvl;
+        return false;
+    }
+
+    virtual void
+    lineContent(CacheLevel lvl, Addr line, const std::vector<Word> &words,
+                AccessKind cause, Cycle now)
+    {
+        (void)lvl; (void)line; (void)words; (void)cause; (void)now;
+    }
+};
+
+/** Full hierarchy configuration. */
+struct HierarchyParams
+{
+    CacheParams l1d;
+    CacheParams l1i;
+    CacheParams l2;
+    BusParams l1l2_bus;
+    BusParams fsb;
+    MemoryModelKind memory = MemoryModelKind::Sdram;
+    Cycle const_latency = 70;
+    SdramParams sdram;
+    bool model_icache = true;
+};
+
+/** The assembled memory system. */
+class Hierarchy
+{
+  public:
+    Hierarchy(const HierarchyParams &p,
+              std::shared_ptr<const MemoryImage> image);
+    ~Hierarchy();
+
+    Hierarchy(const Hierarchy &) = delete;
+    Hierarchy &operator=(const Hierarchy &) = delete;
+
+    /** Attach the mechanism; pass nullptr to detach. */
+    void setClient(HierarchyClient *client) { _client = client; }
+
+    /** Core-side operations; return data-ready / accept cycle. */
+    Cycle load(Addr addr, Addr pc, Cycle when);
+    Cycle store(Addr addr, Addr pc, Cycle when);
+    Cycle ifetch(Addr pc, Cycle when);
+
+    // ----- services for mechanisms -------------------------------
+
+    /** Prefetch @p addr into the L2; returns fill-complete cycle. */
+    Cycle prefetchIntoL2(Addr addr, Addr pc, Cycle now);
+
+    /**
+     * Fetch the line containing @p addr towards an L1-side prefetch
+     * buffer (occupying the L1/L2 bus and L2/memory); the line is
+     * *not* installed in L1. Returns the buffer-ready cycle.
+     */
+    Cycle fetchForL1Buffer(Addr addr, Cycle now);
+
+    bool l1Probe(Addr addr) const { return _l1d->probe(addr); }
+    bool l2Probe(Addr addr) const { return _l2->probe(addr); }
+
+    /** Words of the line containing @p addr, from the memory image. */
+    std::vector<Word> readLine(Addr addr, CacheLevel lvl) const;
+
+    Cache &l1d() { return *_l1d; }
+    Cache &l1i() { return *_l1i; }
+    Cache &l2() { return *_l2; }
+    const Cache &l1d() const { return *_l1d; }
+    const Cache &l2() const { return *_l2; }
+    Bus &l1l2Bus() { return *_l1l2_bus; }
+    Bus &fsb() { return *_fsb; }
+
+    /** SDRAM model or nullptr when constant-latency memory is used. */
+    Sdram *sdram() { return _sdram.get(); }
+
+    const HierarchyParams &params() const { return _p; }
+    const MemoryImage *image() const { return _image.get(); }
+
+    void registerStats(StatSet &stats) const;
+
+  private:
+    struct LevelHooks;
+
+    HierarchyParams _p;
+    std::shared_ptr<const MemoryImage> _image;
+    HierarchyClient *_client = nullptr;
+
+    std::unique_ptr<Bus> _l1l2_bus;
+    std::unique_ptr<Bus> _fsb;
+    std::unique_ptr<Sdram> _sdram;
+    std::unique_ptr<ConstMemory> _constmem;
+    std::unique_ptr<Cache> _l2;
+    std::unique_ptr<Cache> _l1d;
+    std::unique_ptr<Cache> _l1i;
+
+    std::unique_ptr<LevelHooks> _l1_hooks;
+    std::unique_ptr<LevelHooks> _l2_hooks;
+
+    MemDevice *memoryDevice();
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_HIERARCHY_HH

@@ -1,0 +1,121 @@
+#include "mem/mshr.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+MshrFile::MshrFile(unsigned entries, unsigned reads_per_entry,
+                   bool infinite)
+    : _entries(entries), _reads_per_entry(reads_per_entry),
+      _infinite(infinite)
+{
+    if (!infinite && entries == 0)
+        fatal("finite MSHR file needs at least one entry");
+    _slots.resize(infinite ? 64 : entries);
+}
+
+MshrFile::Entry *
+MshrFile::find(Addr line, Cycle when)
+{
+    for (auto &e : _slots) {
+        if (!e.active || e.line != line)
+            continue;
+        // An entry is live until its refill lands (busy_until==never
+        // means the refill time is not known yet, i.e. in flight).
+        if (e.busy_until == never || e.busy_until > when)
+            return &e;
+    }
+    return nullptr;
+}
+
+MshrFile::Entry *
+MshrFile::acquire(Cycle &when)
+{
+    // Free slot: retired (busy_until <= when) or never used.
+    Entry *oldest = nullptr;
+    for (auto &e : _slots) {
+        if (!e.active || (e.busy_until != never && e.busy_until <= when)) {
+            e.active = false;
+            return &e;
+        }
+        if (!oldest || (e.busy_until != never &&
+                        (oldest->busy_until == never ||
+                         e.busy_until < oldest->busy_until)))
+            oldest = &e;
+    }
+
+    if (_infinite) {
+        // Grow: the SimpleScalar miss address file never fills.
+        _slots.push_back(Entry{});
+        return &_slots.back();
+    }
+
+    // Stall until the earliest in-flight entry retires.
+    ++_full_stalls;
+    if (!oldest || oldest->busy_until == never)
+        panic("MSHR full of entries with unknown completion");
+    when = std::max(when, oldest->busy_until);
+    oldest->active = false;
+    return oldest;
+}
+
+MshrOutcome
+MshrFile::allocate(Addr line, Cycle when)
+{
+    MshrOutcome out;
+
+    if (Entry *e = find(line, when)) {
+        if (e->reads < _reads_per_entry || _infinite) {
+            ++e->reads;
+            ++_merges;
+            out.merged = true;
+            out.start = when;
+            out.data_ready =
+                e->busy_until == never ? when : e->busy_until;
+            return out;
+        }
+        // Merge capacity exhausted: wait for the refill, then the
+        // request allocates a fresh entry (it will hit by then in
+        // the cache; timing-wise we charge the wait).
+        if (e->busy_until != never)
+            when = std::max(when, e->busy_until);
+    }
+
+    Entry *e = acquire(when);
+    e->active = true;
+    e->line = line;
+    e->allocated_at = when;
+    e->busy_until = never;
+    e->reads = 1;
+    out.start = when;
+    out.merged = false;
+    return out;
+}
+
+void
+MshrFile::complete(Addr line, Cycle data_ready)
+{
+    for (auto &e : _slots) {
+        if (e.active && e.line == line && e.busy_until == never) {
+            e.busy_until = data_ready;
+            return;
+        }
+    }
+    // Completion for an unknown entry is a modeling bug.
+    panic("MSHR completion without allocation, line ", line);
+}
+
+unsigned
+MshrFile::occupancy(Cycle when) const
+{
+    unsigned n = 0;
+    for (const auto &e : _slots)
+        if (e.active && (e.busy_until == never || e.busy_until > when))
+            ++n;
+    return n;
+}
+
+} // namespace microlib

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Miss Status Holding Register (MSHR) file.
+ *
+ * SimpleScalar's miss address file is unlimited; the paper shows the
+ * difference a finite one makes (Figure 9). This model tracks one
+ * entry per in-flight missing line with a bounded number of merged
+ * reads per entry; allocation stalls when the file is full, and
+ * secondary misses beyond the merge limit wait for the refill.
+ */
+
+#ifndef MICROLIB_MEM_MSHR_HH
+#define MICROLIB_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Outcome of presenting a miss to the MSHR file. */
+struct MshrOutcome
+{
+    Cycle start = 0;       ///< when the miss could begin service
+    bool merged = false;   ///< true: ride an existing entry
+    Cycle data_ready = 0;  ///< merged only: when the refill lands
+};
+
+/** Finite (or infinite) MSHR file using timestamp algebra. */
+class MshrFile
+{
+  public:
+    /**
+     * @param entries entry count (ignored when infinite)
+     * @param reads_per_entry max merged reads per entry
+     * @param infinite SimpleScalar-like unlimited file
+     */
+    MshrFile(unsigned entries, unsigned reads_per_entry, bool infinite);
+
+    /**
+     * Present a miss on @p line at @p when.
+     *
+     * If an in-flight entry covers the line: merge when capacity
+     * remains (outcome.merged, data_ready set to the entry's refill
+     * time if already known); otherwise the miss must wait for the
+     * entry to retire and then allocates fresh.
+     *
+     * A fresh allocation may stall until an entry frees.
+     */
+    MshrOutcome allocate(Addr line, Cycle when);
+
+    /** Record the refill completion for the entry covering @p line. */
+    void complete(Addr line, Cycle data_ready);
+
+    /** In-flight entries at @p when (for tests / occupancy stats). */
+    unsigned occupancy(Cycle when) const;
+
+    bool infinite() const { return _infinite; }
+    unsigned entries() const { return _entries; }
+
+    /** Number of allocations that had to wait for a free entry. */
+    const Counter &fullStalls() const { return _full_stalls; }
+    /** Number of merged (secondary) misses. */
+    const Counter &merges() const { return _merges; }
+
+  private:
+    struct Entry
+    {
+        Addr line = invalid_addr;
+        Cycle busy_until = 0;   ///< refill time; `never` while unknown
+        Cycle allocated_at = 0;
+        unsigned reads = 0;
+        bool active = false;
+    };
+
+    unsigned _entries;
+    unsigned _reads_per_entry;
+    bool _infinite;
+    std::vector<Entry> _slots;
+
+    Counter _full_stalls;
+    Counter _merges;
+
+    Entry *find(Addr line, Cycle when);
+    Entry *acquire(Cycle &when);
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_MSHR_HH

@@ -1,0 +1,47 @@
+#include "mem/replacement.hh"
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+LruState::LruState(std::size_t sets, std::size_t ways)
+    : _sets(sets), _ways(ways), _stamps(sets * ways, 0)
+{
+    if (sets == 0 || ways == 0)
+        fatal("LruState needs non-zero geometry");
+}
+
+void
+LruState::touch(std::size_t set, std::size_t way)
+{
+    _stamps[set * _ways + way] = ++_tick;
+}
+
+std::size_t
+LruState::victim(std::size_t set,
+                 const std::vector<bool> &valid_ways) const
+{
+    // Invalid way first.
+    for (std::size_t w = 0; w < _ways; ++w)
+        if (!valid_ways[w])
+            return w;
+    return lruWay(set);
+}
+
+std::size_t
+LruState::lruWay(std::size_t set) const
+{
+    std::size_t best = 0;
+    std::uint64_t best_stamp = _stamps[set * _ways];
+    for (std::size_t w = 1; w < _ways; ++w) {
+        const std::uint64_t s = _stamps[set * _ways + w];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = w;
+        }
+    }
+    return best;
+}
+
+} // namespace microlib

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Replacement policy state for set-associative arrays.
+ *
+ * Both the caches and several mechanism side structures (victim
+ * caches, correlation tables) need LRU bookkeeping; this class keeps
+ * it in one place and one test target.
+ */
+
+#ifndef MICROLIB_MEM_REPLACEMENT_HH
+#define MICROLIB_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/**
+ * LRU state for an array of sets. Each way holds a last-use stamp;
+ * the victim is the smallest stamp among valid ways, preferring
+ * invalid ways first.
+ */
+class LruState
+{
+  public:
+    LruState(std::size_t sets, std::size_t ways);
+
+    /** Mark (set, way) used at logical time (an internal sequence). */
+    void touch(std::size_t set, std::size_t way);
+
+    /** Way to evict in @p set given validity bits from the caller. */
+    std::size_t victim(std::size_t set,
+                       const std::vector<bool> &valid_ways) const;
+
+    /** Least-recently-used way assuming all ways valid. */
+    std::size_t lruWay(std::size_t set) const;
+
+    std::size_t sets() const { return _sets; }
+    std::size_t ways() const { return _ways; }
+
+  private:
+    std::size_t _sets;
+    std::size_t _ways;
+    std::uint64_t _tick = 0;
+    std::vector<std::uint64_t> _stamps; // sets x ways
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_REPLACEMENT_HH

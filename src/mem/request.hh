@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory request types shared across the hierarchy.
+ *
+ * Timing in MicroLib's hierarchy is expressed with timestamp algebra:
+ * a request enters a device at a cycle and the device returns the
+ * cycle its data is available, mutating internal resource-availability
+ * state (ports, MSHRs, buses, DRAM banks) along the way. This keeps
+ * trace-driven simulation fast while modeling the contention effects
+ * the paper shows matter (Sections 2.2, 3.3).
+ */
+
+#ifndef MICROLIB_MEM_REQUEST_HH
+#define MICROLIB_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Why a request was made; devices treat kinds differently. */
+enum class AccessKind : std::uint8_t
+{
+    DemandRead,   ///< load (or ifetch) the core is waiting on
+    DemandWrite,  ///< store retiring from the core
+    Writeback,    ///< dirty line eviction (posted, not waited on)
+    Prefetch,     ///< mechanism-generated fill
+};
+
+/** True for kinds originating from the core. */
+constexpr bool
+isDemand(AccessKind kind)
+{
+    return kind == AccessKind::DemandRead || kind == AccessKind::DemandWrite;
+}
+
+/** One request presented to a memory device. */
+struct MemRequest
+{
+    Addr addr = 0;          ///< byte address (devices align internally)
+    AccessKind kind = AccessKind::DemandRead;
+    Cycle when = 0;         ///< cycle the request is presented
+    Addr pc = 0;            ///< originating instruction (PC-indexed
+                            ///< mechanisms: SP, GHB, DBCP)
+};
+
+/**
+ * Abstract timing sink: caches stack on top of each other and finally
+ * on a memory model through this interface.
+ */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /**
+     * Present @p req; returns the cycle the requested data is
+     * available at this device's boundary. Writebacks are posted:
+     * the return value is when the device accepted the write.
+     */
+    virtual Cycle access(const MemRequest &req) = 0;
+
+    /** Device name for diagnostics. */
+    virtual const char *deviceName() const = 0;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_REQUEST_HH

@@ -1,0 +1,41 @@
+#include "mem/resource.hh"
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+ResourceSchedule::ResourceSchedule(unsigned capacity_per_cycle,
+                                   std::size_t window)
+    : _capacity(capacity_per_cycle), _slots(window)
+{
+    if (capacity_per_cycle == 0 || window == 0)
+        fatal("ResourceSchedule needs capacity and window");
+}
+
+Cycle
+ResourceSchedule::acquire(Cycle t)
+{
+    for (Cycle c = t;; ++c) {
+        Slot &s = _slots[c % _slots.size()];
+        if (s.cycle != c) {
+            // Stale or fresh slot: claim it for cycle c.
+            s.cycle = c;
+            s.used = 1;
+            return c;
+        }
+        if (s.used < _capacity) {
+            ++s.used;
+            return c;
+        }
+    }
+}
+
+unsigned
+ResourceSchedule::booked(Cycle t) const
+{
+    const Slot &s = _slots[t % _slots.size()];
+    return s.cycle == t ? s.used : 0;
+}
+
+} // namespace microlib

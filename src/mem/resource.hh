@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-cycle resource schedule with backfill.
+ *
+ * Timestamp-algebra models present requests in program order, but the
+ * timestamps themselves are not monotonic: a refill may book a cache
+ * port far in the future while the next demand access wants a port
+ * *now*. A single next-free timestamp would starve the earlier
+ * request behind the later booking; this schedule instead tracks how
+ * many acquisitions landed on each cycle (over a sliding window) so a
+ * request can claim any gap where capacity remains — which is what
+ * pipelined ports do in hardware.
+ */
+
+#ifndef MICROLIB_MEM_RESOURCE_HH
+#define MICROLIB_MEM_RESOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Sliding-window cycle-capacity schedule. */
+class ResourceSchedule
+{
+  public:
+    /**
+     * @param capacity_per_cycle simultaneous acquisitions per cycle
+     * @param window how far apart bookings may be without aliasing;
+     *        must exceed the largest plausible latency spread
+     */
+    explicit ResourceSchedule(unsigned capacity_per_cycle,
+                              std::size_t window = 8192);
+
+    /** Book the first cycle >= @p t with spare capacity. */
+    Cycle acquire(Cycle t);
+
+    /** Bookings currently recorded for cycle @p t (for tests). */
+    unsigned booked(Cycle t) const;
+
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    struct Slot
+    {
+        Cycle cycle = never;
+        std::uint16_t used = 0;
+    };
+
+    unsigned _capacity;
+    std::vector<Slot> _slots;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_RESOURCE_HH

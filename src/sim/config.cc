@@ -1,0 +1,33 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+
+namespace microlib
+{
+
+void
+ParamTable::section(const std::string &title)
+{
+    _rows.push_back({true, title, ""});
+}
+
+void
+ParamTable::print(std::ostream &os) const
+{
+    std::size_t key_width = 0;
+    for (const auto &row : _rows)
+        if (!row.is_section)
+            key_width = std::max(key_width, row.key.size());
+
+    for (const auto &row : _rows) {
+        if (row.is_section) {
+            os << "-- " << row.key << " --\n";
+        } else {
+            os << "  " << row.key
+               << std::string(key_width - row.key.size() + 2, ' ')
+               << row.value << "\n";
+        }
+    }
+}
+
+} // namespace microlib

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameter table: an ordered, sectioned list of (key, value) pairs
+ * used to print configuration dumps in the style of the paper's
+ * Table 1. Model components contribute their parameters so every
+ * benchmark binary can show exactly what was simulated.
+ */
+
+#ifndef MICROLIB_SIM_CONFIG_HH
+#define MICROLIB_SIM_CONFIG_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace microlib
+{
+
+/** Sectioned key/value parameter dump (cf. paper Table 1). */
+class ParamTable
+{
+  public:
+    /** Start a new section header ("Processor core", "SDRAM", ...). */
+    void section(const std::string &title);
+
+    /** Add one parameter line to the current section. */
+    template <typename T>
+    void
+    add(const std::string &key, const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        _rows.push_back({false, key, os.str()});
+    }
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    struct Row
+    {
+        bool is_section;
+        std::string key;
+        std::string value;
+    };
+
+    std::vector<Row> _rows;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_SIM_CONFIG_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the workload generators draws from an
+ * explicitly seeded Rng so that traces, SimPoints and therefore every
+ * reported number are bit-reproducible across runs and platforms
+ * (std::mt19937 distributions are not guaranteed identical across
+ * standard library implementations, so we implement our own).
+ */
+
+#ifndef MICROLIB_SIM_RANDOM_HH
+#define MICROLIB_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna), seeded via splitmix64.
+ *
+ * Fast, high-quality, and fully specified: identical sequences on any
+ * conforming C++ implementation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    /**
+     * Geometric-flavoured draw: returns small values most of the time.
+     * Used for dependence distances and burst lengths.
+     * @param mean approximate mean of the draw (>= 1).
+     */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t s[4];
+
+    static std::uint64_t splitmix64(std::uint64_t &x);
+    static std::uint64_t rotl(std::uint64_t x, int k);
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_SIM_RANDOM_HH

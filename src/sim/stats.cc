@@ -1,0 +1,90 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+Distribution::Distribution(double bucket_width, std::size_t buckets)
+    : _width(bucket_width), _counts(buckets, 0)
+{
+    if (bucket_width <= 0.0 || buckets == 0)
+        fatal("Distribution requires positive bucket width and count");
+}
+
+void
+Distribution::sample(double v)
+{
+    const auto idx = static_cast<std::size_t>(v / _width);
+    if (v < 0)
+        panic("Distribution sample below zero: ", v);
+    if (idx < _counts.size())
+        ++_counts[idx];
+    else
+        ++_overflow;
+    ++_total;
+    _sum += v;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &c : _counts)
+        c = 0;
+    _overflow = 0;
+    _total = 0;
+    _sum = 0.0;
+}
+
+void
+StatSet::registerCounter(const std::string &name, const Counter *c)
+{
+    if (!_counters.emplace(name, c).second)
+        panic("duplicate stat name: ", name);
+}
+
+void
+StatSet::registerAverage(const std::string &name, const Average *a)
+{
+    if (!_averages.emplace(name, a).second)
+        panic("duplicate stat name: ", name);
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    if (auto it = _counters.find(name); it != _counters.end())
+        return static_cast<double>(it->second->value());
+    if (auto it = _averages.find(name); it != _averages.end())
+        return it->second->mean();
+    panic("unknown stat: ", name);
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return _counters.count(name) || _averages.count(name);
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : _counters)
+        out.push_back(kv.first);
+    for (const auto &kv : _averages)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &name : names())
+        os << name << " = " << get(name) << "\n";
+}
+
+} // namespace microlib

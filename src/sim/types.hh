@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fundamental simulator types and address arithmetic helpers.
+ *
+ * All MicroLib components express time in CPU cycles (the 2 GHz core
+ * clock of the baseline configuration) and addresses as 64-bit byte
+ * addresses. Helper routines centralize the power-of-two arithmetic
+ * used throughout the cache and DRAM models.
+ */
+
+#ifndef MICROLIB_SIM_TYPES_HH
+#define MICROLIB_SIM_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace microlib
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Time in CPU cycles. The simulation never runs long enough to wrap. */
+using Cycle = std::uint64_t;
+
+/** 64-bit data word as stored by the functional memory image. */
+using Word = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalid_addr = ~Addr(0);
+
+/** Sentinel for "never" / "not scheduled". */
+constexpr Cycle never = ~Cycle(0);
+
+/** Return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. Undefined for non powers of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Align @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Divide @p n by @p d rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t n, std::uint64_t d)
+{
+    return (n + d - 1) / d;
+}
+
+} // namespace microlib
+
+#endif // MICROLIB_SIM_TYPES_HH

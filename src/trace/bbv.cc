@@ -1,0 +1,52 @@
+#include "trace/bbv.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+BbvProfile
+collectBbv(const SpecProgram &prog, std::uint64_t total_instructions,
+           std::uint64_t interval_length)
+{
+    if (interval_length == 0 || total_instructions < interval_length)
+        fatal("BBV profile needs at least one full interval");
+
+    BbvProfile profile;
+    profile.interval_length = interval_length;
+
+    SpecGenerator gen(prog);
+    TraceRecord rec;
+
+    const std::uint64_t intervals = total_instructions / interval_length;
+    std::vector<std::uint64_t> counts(bbv_dims);
+
+    for (std::uint64_t iv = 0; iv < intervals; ++iv) {
+        std::fill(counts.begin(), counts.end(), 0);
+        for (std::uint64_t i = 0; i < interval_length; ++i) {
+            gen.next(rec);
+            ++counts[rec.bb % bbv_dims];
+        }
+        std::vector<float> vec(bbv_dims);
+        for (std::size_t d = 0; d < bbv_dims; ++d)
+            vec[d] = static_cast<float>(counts[d]) /
+                     static_cast<float>(interval_length);
+        profile.vectors.push_back(std::move(vec));
+    }
+    return profile;
+}
+
+double
+bbvDistance(const std::vector<float> &a, const std::vector<float> &b)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+} // namespace microlib

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Basic Block Vector (BBV) profiling, per Sherwood et al. (the
+ * SimPoint methodology the paper uses for trace selection).
+ *
+ * The nominal full run of a benchmark is split into fixed-size
+ * instruction intervals; for each interval we count executed
+ * instructions per basic block and L1-normalize, yielding one vector
+ * per interval. SimPoint then clusters these vectors.
+ */
+
+#ifndef MICROLIB_TRACE_BBV_HH
+#define MICROLIB_TRACE_BBV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace microlib
+{
+
+/** Dimensionality of BBVs (basic block ids are folded into this). */
+constexpr std::size_t bbv_dims = 1024;
+
+/** One profile: interval length plus one normalized vector/interval. */
+struct BbvProfile
+{
+    std::uint64_t interval_length = 0;
+    std::vector<std::vector<float>> vectors;
+};
+
+/**
+ * Run @p prog for @p total_instructions and collect BBVs.
+ *
+ * @param prog benchmark description
+ * @param total_instructions profiled run length
+ * @param interval_length instructions per interval
+ */
+BbvProfile collectBbv(const SpecProgram &prog,
+                      std::uint64_t total_instructions,
+                      std::uint64_t interval_length);
+
+/** Euclidean distance between two BBVs. */
+double bbvDistance(const std::vector<float> &a,
+                   const std::vector<float> &b);
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_BBV_HH

@@ -1,0 +1,79 @@
+#include "trace/memory_image.hh"
+
+namespace microlib
+{
+
+Word
+MemoryImage::defaultValue(Addr word_addr)
+{
+    // splitmix64-style finalizer: deterministic "garbage" values that
+    // never look like in-image pointers (top byte forced non-heap).
+    std::uint64_t z = word_addr + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z | 0xff00000000000000ull;
+}
+
+MemoryImage::Page &
+MemoryImage::pageFor(Addr addr)
+{
+    const Addr key = addr / page_bytes;
+    auto it = _pages.find(key);
+    if (it == _pages.end()) {
+        it = _pages.emplace(key, Page()).first;
+        it->second.written_mask.fill(0);
+    }
+    return it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageForConst(Addr addr) const
+{
+    auto it = _pages.find(addr / page_bytes);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+Word
+MemoryImage::read(Addr addr) const
+{
+    const Addr word_addr = addr & ~Addr(7);
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return defaultValue(word_addr);
+    const std::size_t idx = (addr % page_bytes) / 8;
+    if (!(page->written_mask[idx / 64] & (1ull << (idx % 64))))
+        return defaultValue(word_addr);
+    return page->words[idx];
+}
+
+void
+MemoryImage::write(Addr addr, Word value)
+{
+    Page &page = pageFor(addr);
+    const std::size_t idx = (addr % page_bytes) / 8;
+    page.words[idx] = value;
+    page.written_mask[idx / 64] |= 1ull << (idx % 64);
+}
+
+bool
+MemoryImage::touched(Addr addr) const
+{
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return false;
+    const std::size_t idx = (addr % page_bytes) / 8;
+    return page->written_mask[idx / 64] & (1ull << (idx % 64));
+}
+
+void
+MemoryImage::readLine(Addr addr, std::uint64_t line_bytes,
+                      std::vector<Word> &out) const
+{
+    const Addr base = alignDown(addr, line_bytes);
+    out.resize(line_bytes / 8);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = read(base + i * 8);
+}
+
+} // namespace microlib

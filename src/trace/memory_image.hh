@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional memory image.
+ *
+ * MicroLib's OoOSysC model "actually performs all computations" so its
+ * caches can see real data values; this class provides the equivalent
+ * for our trace-driven pipeline. Workload generators build their data
+ * structures (linked lists, tables, arrays) in the image; loads read
+ * real values, stores update them, and the hierarchy hands mechanisms
+ * the true cache-line contents on refill (Content-Directed Prefetching
+ * scans those words for pointers, the Frequent Value Cache compresses
+ * them).
+ *
+ * Storage is sparse (4 KB pages, word granularity). Reads of untouched
+ * words return a deterministic per-address hash so behaviour is
+ * reproducible without initializing the full footprint.
+ */
+
+#ifndef MICROLIB_TRACE_MEMORY_IMAGE_HH
+#define MICROLIB_TRACE_MEMORY_IMAGE_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Sparse word-granular memory with deterministic default contents. */
+class MemoryImage
+{
+  public:
+    static constexpr std::uint64_t page_bytes = 4096;
+    static constexpr std::uint64_t words_per_page = page_bytes / 8;
+
+    /** Read the 64-bit word containing @p addr (addr need not be
+     *  aligned; it is truncated to the enclosing word). */
+    Word read(Addr addr) const;
+
+    /** Write the 64-bit word containing @p addr. */
+    void write(Addr addr, Word value);
+
+    /** True iff the word containing @p addr has been written. */
+    bool touched(Addr addr) const;
+
+    /** Copy the @p line_bytes-sized line containing @p addr into
+     *  @p out (out must hold line_bytes / 8 words). */
+    void readLine(Addr addr, std::uint64_t line_bytes,
+                  std::vector<Word> &out) const;
+
+    /** Number of allocated pages (footprint tracking for tests). */
+    std::size_t allocatedPages() const { return _pages.size(); }
+
+    /** Deterministic content of an untouched word. */
+    static Word defaultValue(Addr word_addr);
+
+  private:
+    struct Page
+    {
+        std::array<Word, words_per_page> words;
+        std::array<std::uint64_t, words_per_page / 64> written_mask;
+    };
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, Page> _pages;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_MEMORY_IMAGE_HH

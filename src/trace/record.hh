@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Instruction trace records.
+ *
+ * The workload generators emit a stream of TraceRecord, one per
+ * dynamic instruction, carrying everything the timing models and the
+ * data-cache mechanisms consume: op class, PC, effective address,
+ * the *data value* transferred (needed by the Frequent Value Cache and
+ * Content-Directed Prefetching), dependence distances, and a basic
+ * block id for SimPoint's BBV profiling.
+ */
+
+#ifndef MICROLIB_TRACE_RECORD_HH
+#define MICROLIB_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Functional-unit class of an instruction (cf. sim-outorder). */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,    ///< integer ALU op (also branches' address arithmetic)
+    IntMult,   ///< integer multiply / divide
+    FpAlu,     ///< floating point add/compare
+    FpMult,    ///< floating point multiply / divide / sqrt
+    Load,      ///< memory read
+    Store,     ///< memory write
+    Branch,    ///< control transfer (uses an IntAlu unit)
+};
+
+/** Number of distinct OpClass values. */
+constexpr std::size_t num_op_classes = 7;
+
+/** One dynamic instruction. Packed: the run matrix materializes
+ *  millions of these per benchmark. */
+struct TraceRecord
+{
+    std::uint32_t pc = 0;       ///< instruction address (code space)
+    std::uint32_t addr = 0;     ///< effective address for Load/Store
+    Word value = 0;             ///< data value read/written
+    std::uint16_t bb = 0;       ///< basic block id (BBV profiling)
+    OpClass op = OpClass::IntAlu;
+    std::uint8_t dep1 = 0;      ///< distance to first input producer
+    std::uint8_t dep2 = 0;      ///< distance to second input producer
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+};
+
+static_assert(sizeof(TraceRecord) <= 24, "TraceRecord should stay packed");
+
+/** A materialized instruction trace (one benchmark window). */
+using Trace = std::vector<TraceRecord>;
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_RECORD_HH

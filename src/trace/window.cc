@@ -1,0 +1,27 @@
+#include "trace/window.hh"
+
+namespace microlib
+{
+
+MaterializedTrace
+materialize(const SpecProgram &prog, const TraceWindow &window)
+{
+    SpecGenerator gen(prog);
+    gen.skip(window.skip);
+
+    MaterializedTrace out;
+    out.benchmark = prog.name;
+    out.window = window;
+    out.records.resize(window.length);
+    for (auto &rec : out.records)
+        gen.next(rec);
+
+    // Snapshot the image by moving it out of the generator's reach:
+    // materialize() owns the generator, so copying is unnecessary —
+    // rebuild a shared image from the generator's final state.
+    auto image = std::make_shared<MemoryImage>(gen.image());
+    out.image = std::move(image);
+    return out;
+}
+
+} // namespace microlib

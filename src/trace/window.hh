@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace windows: materializing a (skip, length) slice of a synthetic
+ * benchmark into memory.
+ *
+ * The experiment engine materializes each benchmark window once and
+ * reuses it across all mechanisms, so mechanism comparisons see
+ * bit-identical input (the paper's whole point).
+ */
+
+#ifndef MICROLIB_TRACE_WINDOW_HH
+#define MICROLIB_TRACE_WINDOW_HH
+
+#include <memory>
+
+#include "trace/generator.hh"
+#include "trace/record.hh"
+
+namespace microlib
+{
+
+/** A slice of a benchmark's dynamic instruction stream. */
+struct TraceWindow
+{
+    std::uint64_t skip = 0;
+    std::uint64_t length = 0;
+};
+
+/** A materialized window together with the memory image that backs
+ *  value-sensitive mechanisms (CDP, FVC). */
+struct MaterializedTrace
+{
+    Trace records;
+    std::shared_ptr<const MemoryImage> image;
+    std::string benchmark;
+    TraceWindow window;
+};
+
+/**
+ * Materialize @p window of @p prog. The generator is reset first, so
+ * the result is a pure function of (program, window).
+ */
+MaterializedTrace materialize(const SpecProgram &prog,
+                              const TraceWindow &window);
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_WINDOW_HH

@@ -1,0 +1,114 @@
+/** @file Unit tests for BBV profiling and SimPoint selection. */
+
+#include <gtest/gtest.h>
+
+#include "trace/simpoint.hh"
+#include "trace/spec_suite.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+/** A two-phase program: streams, then pointer chase, alternating. */
+SpecProgram
+twoPhaseProgram()
+{
+    SpecProgram p;
+    p.name = "twophase";
+    p.seed = 5;
+    p.nominal_length = 400'000;
+
+    StreamKernel::Params sp;
+    sp.base = heap_base;
+    sp.bytes = 1 << 16;
+    PointerChaseKernel::Params cp;
+    cp.base = heap_base + (1 << 20);
+    cp.node_bytes = 64;
+    cp.node_count = 512;
+    p.kernels = {
+        [sp] {
+            return std::unique_ptr<PatternKernel>(new StreamKernel(sp));
+        },
+        [cp] {
+            return std::unique_ptr<PatternKernel>(
+                new PointerChaseKernel(cp));
+        },
+    };
+    p.segments = {{0, 50'000}, {1, 50'000}};
+    p.loop_from = 0;
+    return p;
+}
+
+} // namespace
+
+TEST(Bbv, VectorsNormalized)
+{
+    const BbvProfile prof =
+        collectBbv(twoPhaseProgram(), 200'000, 50'000);
+    ASSERT_EQ(prof.vectors.size(), 4u);
+    for (const auto &v : prof.vectors) {
+        double sum = 0.0;
+        for (const float x : v)
+            sum += x;
+        EXPECT_NEAR(sum, 1.0, 1e-3);
+    }
+}
+
+TEST(Bbv, PhasesProduceDistinctVectors)
+{
+    const BbvProfile prof =
+        collectBbv(twoPhaseProgram(), 200'000, 50'000);
+    // Intervals 0/2 are phase A, 1/3 phase B: within-phase distance
+    // must be far below cross-phase distance.
+    const double same = bbvDistance(prof.vectors[0], prof.vectors[2]);
+    const double cross = bbvDistance(prof.vectors[0], prof.vectors[1]);
+    EXPECT_LT(same * 5, cross);
+}
+
+TEST(KMeans, SeparatesPhases)
+{
+    const BbvProfile prof =
+        collectBbv(twoPhaseProgram(), 400'000, 50'000);
+    const KMeansResult km = kMeans(prof.vectors, 2);
+    // Alternating assignment pattern.
+    for (std::size_t i = 2; i < prof.vectors.size(); ++i)
+        EXPECT_EQ(km.assignment[i], km.assignment[i - 2]);
+    EXPECT_NE(km.assignment[0], km.assignment[1]);
+}
+
+TEST(KMeans, Deterministic)
+{
+    const BbvProfile prof =
+        collectBbv(twoPhaseProgram(), 400'000, 50'000);
+    const KMeansResult a = kMeans(prof.vectors, 3);
+    const KMeansResult b = kMeans(prof.vectors, 3);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    const BbvProfile prof =
+        collectBbv(specProgram("gcc"), 2'000'000, 200'000);
+    const double i1 = kMeans(prof.vectors, 1).inertia;
+    const double i4 = kMeans(prof.vectors, 4).inertia;
+    EXPECT_LE(i4, i1 + 1e-9);
+}
+
+TEST(SimPoint, ChoiceInRange)
+{
+    const SimPointChoice sp =
+        findSimPoint(twoPhaseProgram(), 50'000, 2);
+    EXPECT_LT(sp.start_instruction, 400'000u);
+    EXPECT_EQ(sp.start_instruction, sp.interval_index * 50'000);
+    EXPECT_GT(sp.dominant_weight, 0.0);
+    EXPECT_LE(sp.dominant_weight, 1.0);
+}
+
+TEST(SimPoint, Deterministic)
+{
+    const SimPointChoice a = findSimPoint(twoPhaseProgram(), 50'000, 2);
+    const SimPointChoice b = findSimPoint(twoPhaseProgram(), 50'000, 2);
+    EXPECT_EQ(a.start_instruction, b.start_instruction);
+}

@@ -1,0 +1,57 @@
+/** @file Unit tests for the split-transaction bus. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+using namespace microlib;
+
+TEST(Bus, SingleBeatTiming)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    EXPECT_EQ(bus.transfer(10, 32), 11u);
+    EXPECT_EQ(bus.transfers().value(), 1u);
+}
+
+TEST(Bus, MultiBeatTransfer)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    // 64 bytes on a 32-byte bus = 2 beats.
+    EXPECT_EQ(bus.transfer(10, 64), 12u);
+}
+
+TEST(Bus, SlowBusBeats)
+{
+    // FSB-like: 64 bytes per beat, 5 CPU cycles per beat.
+    Bus bus(BusParams{"fsb", 64, 5});
+    const Cycle done = bus.transfer(0, 64);
+    EXPECT_EQ(done, 5u);
+}
+
+TEST(Bus, ContentionSerializesBeats)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    EXPECT_EQ(bus.transfer(10, 32), 11u);
+    EXPECT_EQ(bus.transfer(10, 32), 12u); // same cycle: queued
+}
+
+TEST(Bus, BackfillAroundFutureBooking)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    bus.transfer(100, 32);           // response booked in the future
+    EXPECT_EQ(bus.transfer(5, 32), 6u); // early transfer unaffected
+}
+
+TEST(Bus, BusyCycleAccounting)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    bus.transfer(0, 64);
+    bus.transfer(0, 32);
+    EXPECT_EQ(bus.busyCycles().value(), 3u);
+}
+
+TEST(Bus, ZeroByteTransfersStillTakeABeat)
+{
+    Bus bus(BusParams{"b", 32, 1});
+    EXPECT_EQ(bus.transfer(0, 0), 1u);
+}

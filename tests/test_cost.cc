@@ -1,0 +1,98 @@
+/** @file Unit tests for the CACTI/XCACTI stand-in cost models. */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "cost/cacti.hh"
+#include "cost/mechanism_cost.hh"
+#include "cost/xcacti.hh"
+
+using namespace microlib;
+
+TEST(Cacti, AreaMonotonicInSize)
+{
+    const SramSpec small{"s", 1024, 1, 1};
+    const SramSpec big{"b", 1024 * 1024, 1, 1};
+    EXPECT_LT(sramAreaMm2(small), sramAreaMm2(big));
+}
+
+TEST(Cacti, PortsCostArea)
+{
+    const SramSpec one{"s", 32 * 1024, 1, 1};
+    const SramSpec four{"s", 32 * 1024, 1, 4};
+    EXPECT_LT(sramAreaMm2(one), sramAreaMm2(four));
+}
+
+TEST(Cacti, CamCostsMoreThanRam)
+{
+    const SramSpec ram{"r", 512, 1, 1};
+    const SramSpec cam{"c", 512, 0, 1}; // assoc 0 = fully associative
+    EXPECT_LT(sramAreaMm2(ram), sramAreaMm2(cam));
+}
+
+TEST(Cacti, EmptySpecIsFree)
+{
+    EXPECT_EQ(sramAreaMm2({"none", 0, 1, 1}), 0.0);
+}
+
+TEST(Cacti, CacheAreaIncludesTags)
+{
+    const double data_only = sramAreaMm2({"d", 32 * 1024, 1, 1});
+    const double full = cacheAreaMm2(32 * 1024, 32, 1, 1);
+    EXPECT_GT(full, data_only);
+}
+
+TEST(Xcacti, EnergyMonotonicInSize)
+{
+    EXPECT_LT(accessEnergyNj({"s", 8 * 1024, 1, 1}),
+              accessEnergyNj({"b", 1024 * 1024, 1, 1}));
+}
+
+TEST(Xcacti, FullyAssociativeEnergyPenalty)
+{
+    EXPECT_LT(accessEnergyNj({"r", 512, 1, 1}),
+              accessEnergyNj({"c", 512, 0, 1}));
+}
+
+TEST(MechanismCost, MarkovDwarfsSp)
+{
+    // The paper's Figure 5 headline: Markov/DBCP megabyte tables vs
+    // SP/GHB's hundreds of bytes.
+    MechanismConfig mc;
+    auto markov = makeMechanism("Markov", mc);
+    auto sp = makeMechanism("SP", mc);
+    const double markov_area = totalAreaMm2(markov->hardware());
+    const double sp_area = totalAreaMm2(sp->hardware());
+    EXPECT_GT(markov_area, 50.0 * sp_area);
+}
+
+TEST(MechanismCost, RatiosComputed)
+{
+    RunOutput mech_run, base_run;
+    mech_run.mechanism = "SP";
+    mech_run.hardware = {{"sp.rpt", 8192, 1, 1}};
+    mech_run.stats["l1d.demand_accesses"] = 1e6;
+    mech_run.stats["l2.demand_accesses"] = 1e5;
+    mech_run.stats["mech.SP.table_reads"] = 1e6;
+    mech_run.stats["mech.SP.prefetches_issued"] = 1e4;
+    base_run.stats["l1d.demand_accesses"] = 1e6;
+    base_run.stats["l2.demand_accesses"] = 1e5;
+
+    const BaselineConfig sys = makeBaseline();
+    const CostReport rep = computeCost(mech_run, base_run, sys);
+    EXPECT_GT(rep.area_ratio, 0.0);
+    EXPECT_LT(rep.area_ratio, 0.1); // 8 KB vs ~1 MB of cache
+    EXPECT_GT(rep.power_ratio, 1.0); // extra activity costs energy
+}
+
+TEST(MechanismCost, DbcpAreaRatioIsLarge)
+{
+    MechanismConfig mc;
+    auto dbcp = makeMechanism("DBCP", mc);
+    RunOutput run, base;
+    run.mechanism = "DBCP";
+    run.hardware = dbcp->hardware();
+    const BaselineConfig sys = makeBaseline();
+    const CostReport rep = computeCost(run, base, sys);
+    EXPECT_GT(rep.area_ratio, 0.5); // ~2MB of tables vs ~1MB caches
+}

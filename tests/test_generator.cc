@@ -1,0 +1,211 @@
+/** @file Unit tests for the trace generator. */
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "trace/spec_suite.hh"
+#include "trace/window.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+SpecProgram
+tinyProgram()
+{
+    SpecProgram p;
+    p.name = "tiny";
+    p.seed = 99;
+    p.mem_ratio = 0.4;
+    p.stack_frac = 0.5;
+    StreamKernel::Params sp;
+    sp.base = heap_base;
+    sp.bytes = 1 << 16;
+    sp.stride = 8;
+    p.kernels = {[sp] {
+        return std::unique_ptr<PatternKernel>(new StreamKernel(sp));
+    }};
+    p.segments = {{0, 100'000}};
+    p.nominal_length = 200'000;
+    return p;
+}
+
+} // namespace
+
+TEST(Generator, Deterministic)
+{
+    SpecGenerator a(tinyProgram()), b(tinyProgram());
+    TraceRecord ra, rb;
+    for (int i = 0; i < 50000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+        ASSERT_EQ(ra.value, rb.value);
+    }
+}
+
+TEST(Generator, ResetRestartsExactly)
+{
+    SpecGenerator gen(tinyProgram());
+    std::vector<TraceRecord> first(1000);
+    for (auto &r : first)
+        gen.next(r);
+    gen.reset();
+    TraceRecord r;
+    for (const auto &expect : first) {
+        gen.next(r);
+        ASSERT_EQ(r.pc, expect.pc);
+        ASSERT_EQ(r.addr, expect.addr);
+    }
+}
+
+TEST(Generator, MemRatioConverges)
+{
+    SpecGenerator gen(tinyProgram());
+    TraceRecord r;
+    int mem = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        gen.next(r);
+        mem += r.isMem() ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(mem) / n, 0.4, 0.05);
+}
+
+TEST(Generator, LoadsCarryImageValues)
+{
+    SpecGenerator gen(tinyProgram());
+    TraceRecord r;
+    for (int i = 0; i < 10000; ++i) {
+        gen.next(r);
+        if (r.isLoad()) {
+            EXPECT_EQ(r.value, gen.image().read(r.addr))
+                << "load value must match the functional image";
+        }
+    }
+}
+
+TEST(Generator, StoresUpdateImage)
+{
+    SpecGenerator gen(tinyProgram());
+    TraceRecord r;
+    bool found = false;
+    for (int i = 0; i < 20000 && !found; ++i) {
+        gen.next(r);
+        if (r.isStore()) {
+            EXPECT_EQ(gen.image().read(r.addr), r.value);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Generator, StableMemSitePcs)
+{
+    // All loads of one static site must share a PC (PC-indexed
+    // mechanisms depend on it): count distinct load PCs; it must be
+    // small (sites x spread), not grow with the trace.
+    SpecGenerator gen(tinyProgram());
+    TraceRecord r;
+    std::set<std::uint32_t> pcs;
+    for (int i = 0; i < 100000; ++i) {
+        gen.next(r);
+        if (r.isMem())
+            pcs.insert(r.pc);
+    }
+    EXPECT_LT(pcs.size(), 64u);
+}
+
+TEST(Generator, StackReferencesAreLocal)
+{
+    SpecGenerator gen(tinyProgram());
+    TraceRecord r;
+    int stack_refs = 0, mem_refs = 0;
+    for (int i = 0; i < 100000; ++i) {
+        gen.next(r);
+        if (!r.isMem())
+            continue;
+        ++mem_refs;
+        if (r.addr >= stack_base && r.addr < stack_base + 64 * 1024)
+            ++stack_refs;
+    }
+    EXPECT_NEAR(static_cast<double>(stack_refs) / mem_refs, 0.5, 0.05);
+}
+
+TEST(Generator, SkipMatchesStreaming)
+{
+    SpecGenerator a(tinyProgram());
+    a.skip(12345);
+    TraceRecord ra;
+    a.next(ra);
+
+    SpecGenerator b(tinyProgram());
+    TraceRecord rb;
+    for (int i = 0; i < 12346; ++i)
+        b.next(rb);
+    EXPECT_EQ(ra.pc, rb.pc);
+    EXPECT_EQ(ra.addr, rb.addr);
+}
+
+TEST(Generator, MaterializeWindow)
+{
+    const MaterializedTrace t =
+        materialize(tinyProgram(), TraceWindow{1000, 5000});
+    EXPECT_EQ(t.records.size(), 5000u);
+    EXPECT_EQ(t.benchmark, "tiny");
+    ASSERT_NE(t.image, nullptr);
+}
+
+TEST(Generator, MaterializeIsPureFunctionOfWindow)
+{
+    const MaterializedTrace a =
+        materialize(tinyProgram(), TraceWindow{500, 2000});
+    const MaterializedTrace b =
+        materialize(tinyProgram(), TraceWindow{500, 2000});
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        ASSERT_EQ(a.records[i].addr, b.records[i].addr);
+        ASSERT_EQ(a.records[i].value, b.records[i].value);
+    }
+}
+
+TEST(Generator, RejectsBadPrograms)
+{
+    SpecProgram p = tinyProgram();
+    p.segments.clear();
+    EXPECT_EXIT(SpecGenerator{p}, ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Generator, SerialChaseLoadsDependOnPriorLoad)
+{
+    SpecProgram p = tinyProgram();
+    PointerChaseKernel::Params cp;
+    cp.base = heap_base;
+    cp.node_bytes = 64;
+    cp.node_count = 1024;
+    cp.payload_touches = 0.0;
+    p.kernels = {[cp] {
+        return std::unique_ptr<PatternKernel>(
+            new PointerChaseKernel(cp));
+    }};
+    p.stack_frac = 0.0;
+    SpecGenerator gen(p);
+    TraceRecord r;
+    int serial = 0, loads = 0;
+    std::int64_t last_load_idx = -1;
+    for (int i = 0; i < 50000; ++i) {
+        gen.next(r);
+        if (!r.isLoad())
+            continue;
+        ++loads;
+        // dep1 must point back at (or beyond) the previous load.
+        if (last_load_idx >= 0 && r.dep1 != 0 &&
+            i - r.dep1 <= last_load_idx)
+            ++serial;
+        last_load_idx = i;
+    }
+    EXPECT_GT(loads, 0);
+    EXPECT_GT(static_cast<double>(serial) / loads, 0.8);
+}

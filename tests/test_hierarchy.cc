@@ -1,0 +1,137 @@
+/** @file Unit tests for the assembled memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_config.hh"
+#include "mem/hierarchy.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+HierarchyParams
+baseParams()
+{
+    return makeBaseline().hier;
+}
+
+} // namespace
+
+TEST(Hierarchy, LoadMissGoesToDram)
+{
+    Hierarchy h(baseParams(), nullptr);
+    const Cycle done = h.load(0x10000000, 0x400000, 100);
+    // L1 miss -> L2 miss -> SDRAM: tRCD + CL + FSB at the very least.
+    EXPECT_GT(done, 100u + 60u);
+    EXPECT_EQ(h.l1d().demand_misses.value(), 1u);
+    EXPECT_EQ(h.l2().demand_misses.value(), 1u);
+    EXPECT_EQ(h.sdram()->reads.value(), 1u);
+}
+
+TEST(Hierarchy, SecondLoadHitsL1)
+{
+    Hierarchy h(baseParams(), nullptr);
+    const Cycle first = h.load(0x10000000, 0x400000, 100);
+    const Cycle second = h.load(0x10000000, 0x400000, first + 10);
+    // A fast L1 hit: port + 1-cycle latency, small slack allowed.
+    EXPECT_LE(second, first + 10 + 3);
+}
+
+TEST(Hierarchy, ConstantMemoryMode)
+{
+    HierarchyParams p = baseParams();
+    p.memory = MemoryModelKind::ConstantLatency;
+    p.const_latency = 70;
+    Hierarchy h(p, nullptr);
+    EXPECT_EQ(h.sdram(), nullptr);
+    const Cycle done = h.load(0x10000000, 0x400000, 0);
+    EXPECT_GT(done, 70u);
+    EXPECT_LT(done, 150u);
+}
+
+TEST(Hierarchy, PrefetchIntoL2Installs)
+{
+    Hierarchy h(baseParams(), nullptr);
+    h.prefetchIntoL2(0x10000000, 0, 100);
+    EXPECT_TRUE(h.l2Probe(0x10000000));
+    EXPECT_FALSE(h.l1Probe(0x10000000));
+}
+
+TEST(Hierarchy, BufferFetchDoesNotInstallInL1)
+{
+    Hierarchy h(baseParams(), nullptr);
+    const Cycle ready = h.fetchForL1Buffer(0x10000000, 100);
+    EXPECT_GT(ready, 100u);
+    EXPECT_FALSE(h.l1Probe(0x10000000));
+    EXPECT_TRUE(h.l2Probe(0x10000000)); // passed through the L2
+}
+
+TEST(Hierarchy, IfetchUsesICache)
+{
+    Hierarchy h(baseParams(), nullptr);
+    h.ifetch(0x400000, 10);
+    EXPECT_EQ(h.l1i().demand_accesses.value(), 1u);
+}
+
+TEST(Hierarchy, StatsRegistered)
+{
+    Hierarchy h(baseParams(), nullptr);
+    StatSet stats;
+    h.registerStats(stats);
+    EXPECT_TRUE(stats.has("l1d.demand_misses"));
+    EXPECT_TRUE(stats.has("l2.demand_accesses"));
+    EXPECT_TRUE(stats.has("dram.row_hits"));
+}
+
+namespace
+{
+
+/** Client recording per-level events. */
+struct RecordingClient : public HierarchyClient
+{
+    unsigned l1_events = 0, l2_events = 0, contents = 0;
+    std::vector<Word> last_words;
+
+    void
+    cacheAccess(CacheLevel lvl, const MemRequest &, bool, bool) override
+    {
+        (lvl == CacheLevel::L1D ? l1_events : l2_events) += 1;
+    }
+    bool wantsLineContent(CacheLevel lvl) const override
+    {
+        return lvl == CacheLevel::L2;
+    }
+    void
+    lineContent(CacheLevel, Addr, const std::vector<Word> &words,
+                AccessKind, Cycle) override
+    {
+        ++contents;
+        last_words = words;
+    }
+};
+
+} // namespace
+
+TEST(Hierarchy, ClientSeesBothLevels)
+{
+    Hierarchy h(baseParams(), nullptr);
+    RecordingClient client;
+    h.setClient(&client);
+    h.load(0x10000000, 0x400000, 100); // L1 miss -> L2 access
+    EXPECT_EQ(client.l1_events, 1u);
+    EXPECT_EQ(client.l2_events, 1u);
+}
+
+TEST(Hierarchy, LineContentDeliveredFromImage)
+{
+    auto image = std::make_shared<MemoryImage>();
+    image->write(0x10000000, 0xabcd);
+    Hierarchy h(baseParams(), image);
+    RecordingClient client;
+    h.setClient(&client);
+    h.load(0x10000000, 0x400000, 100);
+    ASSERT_GE(client.contents, 1u);
+    ASSERT_EQ(client.last_words.size(), 8u); // 64 B L2 line
+    EXPECT_EQ(client.last_words[0], 0xabcdu);
+}

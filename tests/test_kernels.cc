@@ -1,0 +1,260 @@
+/** @file Unit tests for the access-pattern kernels. */
+
+#include <gtest/gtest.h>
+
+#include "trace/kernels.hh"
+
+using namespace microlib;
+
+TEST(Kernels, StreamAdvancesByStride)
+{
+    StreamKernel::Params p;
+    p.base = heap_base;
+    p.bytes = 1024;
+    p.stride = 16;
+    StreamKernel k(p);
+    MemoryImage img;
+    Rng rng(1);
+    k.setup(img, rng);
+    const MemRef a = k.next(img, rng);
+    const MemRef b = k.next(img, rng);
+    EXPECT_EQ(a.addr, heap_base);
+    EXPECT_EQ(b.addr, heap_base + 16);
+}
+
+TEST(Kernels, StreamWrapsAtEnd)
+{
+    StreamKernel::Params p;
+    p.base = heap_base;
+    p.bytes = 64;
+    p.stride = 32;
+    StreamKernel k(p);
+    MemoryImage img;
+    Rng rng(1);
+    k.setup(img, rng);
+    for (int i = 0; i < 10; ++i) {
+        const MemRef r = k.next(img, rng);
+        EXPECT_GE(r.addr, heap_base);
+        EXPECT_LT(r.addr + 8, heap_base + 64 + 8);
+    }
+}
+
+TEST(Kernels, MultiStrideUsesDistinctSlots)
+{
+    MultiStrideKernel::Params p;
+    p.base = heap_base;
+    p.array_bytes = 4096;
+    p.strides = {8, 64};
+    p.has_write_stream = true;
+    MultiStrideKernel k(p);
+    MemoryImage img;
+    Rng rng(1);
+    k.setup(img, rng);
+    std::set<unsigned> slots;
+    bool store_seen = false;
+    for (int i = 0; i < 9; ++i) {
+        const MemRef r = k.next(img, rng);
+        slots.insert(r.slot);
+        store_seen = store_seen || r.store;
+    }
+    EXPECT_EQ(slots.size(), 3u);
+    EXPECT_TRUE(store_seen);
+}
+
+TEST(Kernels, MultiStrideArraysDoNotAliasInL1Sets)
+{
+    MultiStrideKernel::Params p;
+    p.base = heap_base;
+    p.array_bytes = 1 << 20; // multiple of 32 KB: would alias unpadded
+    p.strides = {8, 8};
+    MultiStrideKernel k(p);
+    MemoryImage img;
+    Rng rng(1);
+    k.setup(img, rng);
+    const MemRef a = k.next(img, rng);
+    const MemRef b = k.next(img, rng);
+    // Direct-mapped 32 KB L1 with 32 B lines: set = (addr/32) % 1024.
+    const auto set = [](Addr x) { return (x / 32) % 1024; };
+    EXPECT_NE(set(a.addr), set(b.addr));
+}
+
+TEST(Kernels, PointerChaseFormsCycle)
+{
+    PointerChaseKernel::Params p;
+    p.base = heap_base;
+    p.node_bytes = 64;
+    p.node_count = 64;
+    p.next_offset = 0;
+    p.shuffle = 1.0;
+    p.payload_touches = 0.0;
+    PointerChaseKernel k(p);
+    MemoryImage img;
+    Rng rng(3);
+    k.setup(img, rng);
+    // Follow the chain functionally: it must visit all nodes and
+    // return to the start (one big cycle).
+    Addr start = heap_base;
+    Addr cur = img.read(start);
+    std::set<Addr> seen{start};
+    for (unsigned i = 0; i < p.node_count - 1; ++i) {
+        EXPECT_TRUE(looksLikeHeapPointer(cur));
+        EXPECT_EQ(seen.count(cur), 0u);
+        seen.insert(cur);
+        cur = img.read(cur);
+    }
+    EXPECT_EQ(cur, start);
+}
+
+TEST(Kernels, PointerChaseLinkLoadsAreSerial)
+{
+    PointerChaseKernel::Params p;
+    p.base = heap_base;
+    p.node_bytes = 64;
+    p.node_count = 32;
+    p.payload_touches = 0.0;
+    PointerChaseKernel k(p);
+    MemoryImage img;
+    Rng rng(3);
+    k.setup(img, rng);
+    const MemRef r = k.next(img, rng);
+    EXPECT_TRUE(r.serial_dep);
+    EXPECT_EQ(r.slot, 0u);
+}
+
+TEST(Kernels, AmmpStyleOffsetRespected)
+{
+    PointerChaseKernel::Params p;
+    p.base = heap_base;
+    p.node_bytes = 128;
+    p.node_count = 16;
+    p.next_offset = 88;
+    p.payload_touches = 0.0;
+    PointerChaseKernel k(p);
+    MemoryImage img;
+    Rng rng(3);
+    k.setup(img, rng);
+    const MemRef r = k.next(img, rng);
+    // The link load address is 88 bytes into some node.
+    EXPECT_EQ((r.addr - heap_base) % 128, 88u);
+}
+
+TEST(Kernels, MarkovWalkStaysInRegion)
+{
+    MarkovChainKernel::Params p;
+    p.base = heap_base;
+    p.states = 16;
+    p.state_bytes = 32;
+    p.fanout = 2;
+    MarkovChainKernel k(p);
+    MemoryImage img;
+    Rng rng(5);
+    k.setup(img, rng);
+    for (int i = 0; i < 200; ++i) {
+        const MemRef r = k.next(img, rng);
+        EXPECT_GE(r.addr, heap_base);
+        EXPECT_LT(r.addr, heap_base + 16 * 32);
+        EXPECT_TRUE(r.serial_dep);
+    }
+}
+
+TEST(Kernels, MarkovPrimarySuccessorDominates)
+{
+    MarkovChainKernel::Params p;
+    p.base = heap_base;
+    p.states = 64;
+    p.state_bytes = 32;
+    p.fanout = 2;
+    p.primary_prob = 0.9;
+    MarkovChainKernel k(p);
+    MemoryImage img;
+    Rng rng(5);
+    k.setup(img, rng);
+    // Count distinct successor states observed after a fixed state's
+    // visits: the first successor should dominate.
+    std::map<std::uint64_t, std::map<std::uint64_t, int>> seen;
+    std::uint64_t prev_state = (k.next(img, rng).addr - heap_base) / 32;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t s = (k.next(img, rng).addr - heap_base) / 32;
+        ++seen[prev_state][s];
+        prev_state = s;
+    }
+    // For a well-visited state, the top successor takes ~90%.
+    int checked = 0;
+    for (const auto &kv : seen) {
+        int total = 0, best = 0;
+        for (const auto &succ : kv.second) {
+            total += succ.second;
+            best = std::max(best, succ.second);
+        }
+        if (total < 200)
+            continue;
+        EXPECT_GT(static_cast<double>(best) / total, 0.7);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Kernels, GatherDataDependsOnIndex)
+{
+    GatherKernel::Params p;
+    p.base = heap_base;
+    p.index_entries = 128;
+    p.table_bytes = 4096;
+    GatherKernel k(p);
+    MemoryImage img;
+    Rng rng(7);
+    k.setup(img, rng);
+    const MemRef index_ref = k.next(img, rng);
+    const MemRef data_ref = k.next(img, rng);
+    EXPECT_FALSE(index_ref.serial_dep);
+    EXPECT_TRUE(data_ref.serial_dep);
+    // The data address matches the index value stored in the image.
+    const Word idx = img.read(index_ref.addr) % (p.table_bytes / 8);
+    EXPECT_EQ(data_ref.addr,
+              heap_base + alignUp(128 * 8, 4096) + 4160 + idx * 8);
+}
+
+TEST(Kernels, HotColdRespectsHotFraction)
+{
+    HotColdKernel::Params p;
+    p.base = heap_base;
+    p.hot_bytes = 1024;
+    p.cold_bytes = 1 << 20;
+    p.hot_frac = 0.9;
+    HotColdKernel k(p);
+    MemoryImage img;
+    Rng rng(9);
+    k.setup(img, rng);
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const MemRef r = k.next(img, rng);
+        hot += (r.addr < heap_base + 1024) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.9, 0.02);
+}
+
+TEST(Kernels, FrequentValuesAreRecognizable)
+{
+    for (unsigned i = 0; i < 7; ++i) {
+        const Word v = frequentValue(i);
+        // Frequent values must never look like heap pointers, so the
+        // CDP and FVC mechanisms cannot confuse them.
+        EXPECT_FALSE(looksLikeHeapPointer(v)) << v;
+    }
+}
+
+TEST(Kernels, RandomKernelCoversRegion)
+{
+    RandomKernel::Params p;
+    p.base = heap_base;
+    p.bytes = 1 << 16;
+    RandomKernel k(p);
+    MemoryImage img;
+    Rng rng(11);
+    k.setup(img, rng);
+    std::set<Addr> lines;
+    for (int i = 0; i < 5000; ++i)
+        lines.insert(alignDown(k.next(img, rng).addr, 64));
+    EXPECT_GT(lines.size(), 500u); // far beyond any cache set
+}

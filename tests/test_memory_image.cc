@@ -1,0 +1,78 @@
+/** @file Unit tests for the functional memory image. */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_image.hh"
+
+using namespace microlib;
+
+TEST(MemoryImage, WriteThenRead)
+{
+    MemoryImage img;
+    img.write(0x1000, 42);
+    EXPECT_EQ(img.read(0x1000), 42u);
+}
+
+TEST(MemoryImage, UnalignedAccessTruncatesToWord)
+{
+    MemoryImage img;
+    img.write(0x1003, 7); // lands in word 0x1000
+    EXPECT_EQ(img.read(0x1000), 7u);
+    EXPECT_EQ(img.read(0x1007), 7u);
+}
+
+TEST(MemoryImage, DefaultValuesDeterministic)
+{
+    MemoryImage a, b;
+    EXPECT_EQ(a.read(0xdeadbeef), b.read(0xdeadbeef));
+    EXPECT_NE(a.read(0x1000), a.read(0x1008)); // different words differ
+}
+
+TEST(MemoryImage, DefaultValuesNeverLookLikeHeapPointers)
+{
+    MemoryImage img;
+    for (Addr a = 0x10000000; a < 0x10000000 + 4096; a += 8) {
+        const Word v = img.read(a);
+        // defaultValue() forces the top byte, above any heap address.
+        EXPECT_GE(v, 0xff00000000000000ull);
+    }
+}
+
+TEST(MemoryImage, TouchedTracking)
+{
+    MemoryImage img;
+    EXPECT_FALSE(img.touched(0x2000));
+    img.write(0x2000, 1);
+    EXPECT_TRUE(img.touched(0x2000));
+    EXPECT_FALSE(img.touched(0x2008));
+}
+
+TEST(MemoryImage, ReadLine)
+{
+    MemoryImage img;
+    img.write(0x1000, 1);
+    img.write(0x1008, 2);
+    std::vector<Word> words;
+    img.readLine(0x1010, 32, words); // line 0x1000..0x101f
+    ASSERT_EQ(words.size(), 4u);
+    EXPECT_EQ(words[0], 1u);
+    EXPECT_EQ(words[1], 2u);
+}
+
+TEST(MemoryImage, CopySemantics)
+{
+    MemoryImage img;
+    img.write(0x3000, 5);
+    MemoryImage copy = img;
+    copy.write(0x3000, 9);
+    EXPECT_EQ(img.read(0x3000), 5u); // deep copy
+    EXPECT_EQ(copy.read(0x3000), 9u);
+}
+
+TEST(MemoryImage, SparseAllocation)
+{
+    MemoryImage img;
+    img.write(0x0, 1);
+    img.write(0x10000000, 1);
+    EXPECT_EQ(img.allocatedPages(), 2u);
+}

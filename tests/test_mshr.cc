@@ -1,0 +1,82 @@
+/** @file Unit tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+using namespace microlib;
+
+TEST(Mshr, PrimaryMissAllocates)
+{
+    MshrFile mshr(4, 4, false);
+    const MshrOutcome out = mshr.allocate(0x1000, 10);
+    EXPECT_FALSE(out.merged);
+    EXPECT_EQ(out.start, 10u);
+    EXPECT_EQ(mshr.occupancy(10), 1u);
+}
+
+TEST(Mshr, SecondaryMissMerges)
+{
+    MshrFile mshr(4, 4, false);
+    mshr.allocate(0x1000, 10);
+    const MshrOutcome out = mshr.allocate(0x1000, 12);
+    EXPECT_TRUE(out.merged);
+    EXPECT_EQ(mshr.occupancy(12), 1u); // still one entry
+}
+
+TEST(Mshr, MergedReadsBounded)
+{
+    MshrFile mshr(4, 2, false); // two reads per entry
+    mshr.allocate(0x1000, 10);        // primary (read 1)
+    EXPECT_TRUE(mshr.allocate(0x1000, 11).merged); // read 2
+    mshr.complete(0x1000, 100);
+    // Third read exceeds the merge capacity: it waits for the refill.
+    const MshrOutcome out = mshr.allocate(0x1000, 12);
+    EXPECT_FALSE(out.merged);
+    EXPECT_GE(out.start, 100u);
+}
+
+TEST(Mshr, FullFileStalls)
+{
+    MshrFile mshr(2, 4, false);
+    mshr.allocate(0x1000, 10);
+    mshr.complete(0x1000, 50);
+    mshr.allocate(0x2000, 10);
+    mshr.complete(0x2000, 80);
+    // Third distinct line must wait for the earliest retirement (50).
+    const MshrOutcome out = mshr.allocate(0x3000, 12);
+    EXPECT_GE(out.start, 50u);
+    EXPECT_EQ(mshr.fullStalls().value(), 1u);
+}
+
+TEST(Mshr, InfiniteNeverStalls)
+{
+    MshrFile mshr(1, 4, true);
+    for (Addr line = 0; line < 100 * 64; line += 64) {
+        const MshrOutcome out = mshr.allocate(0x10000 + line, 5);
+        EXPECT_EQ(out.start, 5u);
+        mshr.complete(0x10000 + line, 500);
+    }
+    EXPECT_EQ(mshr.fullStalls().value(), 0u);
+}
+
+TEST(Mshr, MergeSeesRefillTime)
+{
+    MshrFile mshr(4, 4, false);
+    mshr.allocate(0x1000, 10);
+    mshr.complete(0x1000, 90);
+    const MshrOutcome out = mshr.allocate(0x1000, 20);
+    ASSERT_TRUE(out.merged);
+    EXPECT_EQ(out.data_ready, 90u);
+}
+
+TEST(Mshr, RetiredEntryFreesSlot)
+{
+    MshrFile mshr(1, 4, false);
+    mshr.allocate(0x1000, 10);
+    mshr.complete(0x1000, 20);
+    // After cycle 20 the entry is dead; a new line allocates freely.
+    const MshrOutcome out = mshr.allocate(0x2000, 30);
+    EXPECT_EQ(out.start, 30u);
+    EXPECT_EQ(mshr.fullStalls().value(), 0u);
+}

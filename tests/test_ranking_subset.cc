@@ -1,0 +1,141 @@
+/** @file Unit & property tests for ranking and subset-winner
+ *  enumeration (the paper's Table 6 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "core/ranking.hh"
+#include "core/subset_winners.hh"
+#include "sim/random.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+/** Build a MatrixResult directly from an IPC table. */
+MatrixResult
+matrixOf(const std::vector<std::string> &mechs,
+         const std::vector<std::vector<double>> &ipc)
+{
+    MatrixResult m;
+    m.mechanisms = mechs;
+    for (std::size_t b = 0; b < ipc[0].size(); ++b)
+        m.benchmarks.push_back("b" + std::to_string(b));
+    m.ipc = ipc;
+    m.outputs.assign(mechs.size(),
+                     std::vector<RunOutput>(m.benchmarks.size()));
+    return m;
+}
+
+} // namespace
+
+TEST(Ranking, OrdersBySpeedup)
+{
+    const MatrixResult m = matrixOf(
+        {"Base", "X", "Y"},
+        {{1.0, 1.0}, {1.5, 1.5}, {1.2, 1.2}});
+    const auto ranking = rankMechanisms(m);
+    EXPECT_EQ(ranking[0].mechanism, "X");
+    EXPECT_EQ(ranking[1].mechanism, "Y");
+    EXPECT_EQ(ranking[2].mechanism, "Base");
+    EXPECT_EQ(rankOf(ranking, "X"), 1u);
+    EXPECT_EQ(rankOf(ranking, "Base"), 3u);
+}
+
+TEST(Ranking, SubsetChangesWinner)
+{
+    // X wins benchmark 0, Y wins benchmark 1.
+    const MatrixResult m = matrixOf(
+        {"Base", "X", "Y"},
+        {{1.0, 1.0}, {2.0, 1.0}, {1.0, 1.8}});
+    EXPECT_EQ(rankMechanisms(m, {0})[0].mechanism, "X");
+    EXPECT_EQ(rankMechanisms(m, {1})[0].mechanism, "Y");
+}
+
+TEST(Ranking, SensitivitySpread)
+{
+    const MatrixResult m = matrixOf(
+        {"Base", "X"},
+        {{1.0, 1.0}, {2.0, 1.01}});
+    const auto sens = benchmarkSensitivity(m);
+    EXPECT_NEAR(sens[0], 1.0, 1e-9);
+    EXPECT_NEAR(sens[1], 0.01, 1e-9);
+}
+
+TEST(SubsetWinners, SingleMechanismAlwaysWins)
+{
+    const auto w = subsetWinners({{1.0, 2.0, 3.0}});
+    for (std::size_t n = 1; n <= 3; ++n)
+        EXPECT_TRUE(w[n][0]);
+}
+
+TEST(SubsetWinners, DominatedNeverWins)
+{
+    // Mechanism 1 strictly dominates mechanism 0 on every benchmark.
+    const auto w = subsetWinners({{1.0, 1.0, 1.0}, {1.1, 1.2, 1.3}});
+    for (std::size_t n = 1; n <= 3; ++n) {
+        EXPECT_FALSE(w[n][0]);
+        EXPECT_TRUE(w[n][1]);
+    }
+}
+
+TEST(SubsetWinners, SpecialistWinsSmallSubsetsOnly)
+{
+    // Mechanism 0: great on benchmark 0, bad elsewhere.
+    // Mechanism 1: steady everywhere.
+    const auto w = subsetWinners(
+        {{3.0, 0.5, 0.5, 0.5}, {1.2, 1.2, 1.2, 1.2}});
+    EXPECT_TRUE(w[1][0]);  // picks its benchmark
+    EXPECT_TRUE(w[2][0]);  // 3.0 + 0.5 > 1.2 + 1.2
+    EXPECT_FALSE(w[4][0]); // full suite: the generalist wins
+    EXPECT_TRUE(w[4][1]);
+}
+
+class SubsetWinnersRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SubsetWinnersRandom, MatchesBruteForce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t mechs = 2 + rng.nextBounded(4);
+    const std::size_t benchs = 2 + rng.nextBounded(9);
+    std::vector<std::vector<double>> speedup(
+        mechs, std::vector<double>(benchs));
+    for (auto &row : speedup)
+        for (auto &v : row)
+            v = 0.5 + rng.nextDouble();
+
+    const auto fast = subsetWinners(speedup);
+    const auto slow = subsetWinnersBruteForce(speedup);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t n = 1; n < fast.size(); ++n)
+        EXPECT_EQ(fast[n], slow[n]) << "subset size " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, SubsetWinnersRandom,
+                         ::testing::Range(0, 12));
+
+TEST(SubsetWinners, FullSuiteWinnerIsGlobalWinner)
+{
+    Rng rng(77);
+    std::vector<std::vector<double>> speedup(
+        5, std::vector<double>(10));
+    for (auto &row : speedup)
+        for (auto &v : row)
+            v = 0.5 + rng.nextDouble();
+    const auto w = subsetWinners(speedup);
+    // The winner for N = all must be the argmax of total speedup.
+    std::size_t best = 0;
+    double best_sum = -1;
+    for (std::size_t m = 0; m < 5; ++m) {
+        double s = 0;
+        for (const double v : speedup[m])
+            s += v;
+        if (s > best_sum) {
+            best_sum = s;
+            best = m;
+        }
+    }
+    EXPECT_TRUE(w[10][best]);
+}

@@ -1,0 +1,53 @@
+/** @file Unit tests for LRU replacement state. */
+
+#include <gtest/gtest.h>
+
+#include "mem/replacement.hh"
+
+using namespace microlib;
+
+TEST(Lru, PrefersInvalidWays)
+{
+    LruState lru(4, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    std::vector<bool> valid = {true, true, false, true};
+    EXPECT_EQ(lru.victim(0, valid), 2u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruState lru(1, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.touch(0, 3);
+    lru.touch(0, 0); // refresh way 0
+    std::vector<bool> valid(4, true);
+    EXPECT_EQ(lru.victim(0, valid), 1u);
+}
+
+TEST(Lru, SetsIndependent)
+{
+    LruState lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    std::vector<bool> valid(2, true);
+    EXPECT_EQ(lru.victim(0, valid), 0u);
+    EXPECT_EQ(lru.victim(1, valid), 0u); // way 0 in set 1 untouched
+}
+
+TEST(Lru, SequenceProperty)
+{
+    // Touch ways in order; victim must always be the oldest touch.
+    LruState lru(1, 8);
+    std::vector<bool> valid(8, true);
+    for (unsigned w = 0; w < 8; ++w)
+        lru.touch(0, w);
+    for (unsigned round = 0; round < 20; ++round) {
+        const std::size_t victim = lru.lruWay(0);
+        EXPECT_EQ(victim, round % 8);
+        lru.touch(0, victim);
+    }
+}

@@ -1,0 +1,124 @@
+/** @file Tests for the 26 SPEC CPU2000 stand-in programs. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/spec_suite.hh"
+
+using namespace microlib;
+
+TEST(SpecSuite, TwentySixBenchmarks)
+{
+    EXPECT_EQ(specSuite().size(), 26u);
+    EXPECT_EQ(specBenchmarkNames().size(), 26u);
+}
+
+TEST(SpecSuite, NamesUniqueAndOrdered)
+{
+    const auto &names = specBenchmarkNames();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+    // Table 4 order: FP block first (ammp..wupwise), then INT.
+    EXPECT_EQ(names.front(), "ammp");
+    EXPECT_EQ(names.back(), "vpr");
+}
+
+TEST(SpecSuite, FpClassification)
+{
+    EXPECT_TRUE(isFpBenchmark("swim"));
+    EXPECT_TRUE(isFpBenchmark("lucas"));
+    EXPECT_FALSE(isFpBenchmark("gcc"));
+    EXPECT_FALSE(isFpBenchmark("mcf"));
+    unsigned fp = 0;
+    for (const auto &n : specBenchmarkNames())
+        fp += isFpBenchmark(n) ? 1 : 0;
+    EXPECT_EQ(fp, 14u);
+}
+
+TEST(SpecSuite, LookupFailsLoudly)
+{
+    EXPECT_EXIT(specProgram("quake3"), ::testing::ExitedWithCode(1),
+                "");
+}
+
+class SpecProgramTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecProgramTest, GeneratesCleanly)
+{
+    const SpecProgram &prog = specProgram(GetParam());
+    SpecGenerator gen(prog);
+    TraceRecord r;
+    std::uint64_t mem = 0, stores = 0;
+    const std::uint64_t n = 60'000;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        gen.next(r);
+        if (r.isMem()) {
+            ++mem;
+            ASSERT_GE(r.addr, 0x01000000u) << "suspicious address";
+        }
+        if (r.isStore())
+            ++stores;
+    }
+    // Instruction mix within sane bounds.
+    const double ratio = static_cast<double>(mem) / n;
+    EXPECT_GT(ratio, 0.1);
+    EXPECT_LT(ratio, 0.6);
+    EXPECT_GT(stores, 0u);
+}
+
+TEST_P(SpecProgramTest, NominalLengthCoversSegments)
+{
+    const SpecProgram &prog = specProgram(GetParam());
+    std::uint64_t one_pass = 0;
+    for (const auto &seg : prog.segments)
+        one_pass += seg.instructions;
+    // The nominal run must include several phase passes so SimPoint
+    // has real phases to cluster.
+    EXPECT_GE(prog.nominal_length, one_pass);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, SpecProgramTest,
+    ::testing::ValuesIn(std::vector<std::string>{
+        "ammp", "applu", "apsi", "art", "equake", "facerec", "fma3d",
+        "galgel", "lucas", "mesa", "mgrid", "sixtrack", "swim",
+        "wupwise", "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+        "mcf", "parser", "perlbmk", "twolf", "vortex", "vpr"}));
+
+TEST(SpecSuite, McfNodesCarryPointers)
+{
+    // CDP's mcf disaster requires pointer-rich node payloads.
+    SpecGenerator gen(specProgram("mcf"));
+    TraceRecord r;
+    unsigned pointer_values = 0, loads = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        gen.next(r);
+        if (r.isLoad() && r.addr >= heap_base) {
+            ++loads;
+            if (looksLikeHeapPointer(r.value))
+                ++pointer_values;
+        }
+    }
+    EXPECT_GT(loads, 0u);
+    EXPECT_GT(pointer_values, loads / 20);
+}
+
+TEST(SpecSuite, AmmpNextPointerOffset)
+{
+    // The paper's ammp pathology: link loads at 88 bytes into
+    // 128-byte nodes.
+    SpecGenerator gen(specProgram("ammp"));
+    TraceRecord r;
+    unsigned link_loads = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        gen.next(r);
+        if (r.isLoad() && r.addr >= heap_base &&
+            r.addr < heap_base + (48u << 20) &&
+            (r.addr - heap_base) % 128 == 88)
+            ++link_loads;
+    }
+    EXPECT_GT(link_loads, 100u);
+}

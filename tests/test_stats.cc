@@ -1,0 +1,104 @@
+/** @file Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace microlib;
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageBasics)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    Distribution d(10.0, 4); // buckets [0,10) [10,20) [20,30) [30,40)
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(99); // overflow
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 2u);
+    EXPECT_EQ(d.bucket(2), 0u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.total(), 4u);
+    EXPECT_NEAR(d.mean(), (5 + 15 + 15 + 99) / 4.0, 1e-9);
+}
+
+TEST(Stats, DistributionReset)
+{
+    Distribution d(1.0, 4);
+    d.sample(1);
+    d.reset();
+    EXPECT_EQ(d.total(), 0u);
+    EXPECT_EQ(d.bucket(1), 0u);
+}
+
+TEST(Stats, StatSetLookup)
+{
+    StatSet set;
+    Counter c;
+    Average a;
+    c += 3;
+    a.sample(10.0);
+    set.registerCounter("l1.misses", &c);
+    set.registerAverage("dram.latency", &a);
+
+    EXPECT_TRUE(set.has("l1.misses"));
+    EXPECT_FALSE(set.has("l1.hits"));
+    EXPECT_DOUBLE_EQ(set.get("l1.misses"), 3.0);
+    EXPECT_DOUBLE_EQ(set.get("dram.latency"), 10.0);
+}
+
+TEST(Stats, StatSetNamesSorted)
+{
+    StatSet set;
+    Counter c1, c2;
+    set.registerCounter("zeta", &c1);
+    set.registerCounter("alpha", &c2);
+    const auto names = set.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Stats, StatSetTracksLiveValues)
+{
+    StatSet set;
+    Counter c;
+    set.registerCounter("x", &c);
+    EXPECT_DOUBLE_EQ(set.get("x"), 0.0);
+    c += 7;
+    EXPECT_DOUBLE_EQ(set.get("x"), 7.0); // registry reads through
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatSet set;
+    Counter c;
+    c += 2;
+    set.registerCounter("a.b", &c);
+    std::ostringstream os;
+    set.dump(os);
+    EXPECT_EQ(os.str(), "a.b = 2\n");
+}

@@ -1,0 +1,59 @@
+/** @file Unit tests for the fundamental type helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace microlib;
+
+TEST(Types, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(32), 5u);
+    EXPECT_EQ(floorLog2(1ull << 20), 20u);
+}
+
+TEST(Types, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x1234, 64), 0x1200u);
+    EXPECT_EQ(alignDown(0x1200, 64), 0x1200u);
+    EXPECT_EQ(alignDown(0x123f, 32), 0x1220u);
+}
+
+TEST(Types, AlignUp)
+{
+    EXPECT_EQ(alignUp(0x1234, 64), 0x1240u);
+    EXPECT_EQ(alignUp(0x1200, 64), 0x1200u);
+    EXPECT_EQ(alignUp(1, 4096), 4096u);
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Types, LineAlignmentIdentity)
+{
+    // alignDown/alignUp agree on aligned addresses for all
+    // power-of-two granularities used by the models.
+    for (std::uint64_t g : {8, 32, 64, 4096}) {
+        for (Addr a : {Addr(0), Addr(g), Addr(7 * g)}) {
+            EXPECT_EQ(alignDown(a, g), a);
+            EXPECT_EQ(alignUp(a, g), a);
+        }
+    }
+}

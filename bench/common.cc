@@ -29,6 +29,17 @@ mechanismSet()
     return allMechanismNames();
 }
 
+ExperimentEngine &
+engine()
+{
+    static ExperimentEngine the_engine{[] {
+        EngineOptions opts;
+        opts.verbose = std::getenv("MICROLIB_VERBOSE") != nullptr;
+        return opts;
+    }()};
+    return the_engine;
+}
+
 std::string
 cacheDir()
 {
@@ -68,6 +79,7 @@ loadMatrix(const std::string &tag,
 
     out.mechanisms = mechanisms;
     out.benchmarks = benchmarks;
+    out.buildIndices();
     out.ipc.assign(mechanisms.size(),
                    std::vector<double>(benchmarks.size(), 0.0));
     out.outputs.assign(mechanisms.size(),
@@ -136,7 +148,7 @@ storeMatrix(const std::string &tag, const MatrixResult &res)
 } // namespace
 
 MatrixResult
-loadOrRun(const std::string &tag,
+loadOrRun(ExperimentEngine &eng, const std::string &tag,
           const std::vector<std::string> &mechanisms,
           const std::vector<std::string> &benchmarks,
           const RunConfig &cfg)
@@ -149,8 +161,9 @@ loadOrRun(const std::string &tag,
     }
     std::cout << "[run] sweeping matrix '" << tag << "' ("
               << mechanisms.size() << " mechanisms x "
-              << benchmarks.size() << " benchmarks)...\n";
-    res = runMatrix(mechanisms, benchmarks, cfg);
+              << benchmarks.size() << " benchmarks, "
+              << eng.threads() << " workers)...\n";
+    res = eng.run(mechanisms, benchmarks, cfg);
     storeMatrix(tag, res);
     return res;
 }

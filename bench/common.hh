@@ -17,6 +17,7 @@
 
 #include "core/experiment.hh"
 #include "core/ranking.hh"
+#include "core/scheduler.hh"
 #include "sim/report.hh"
 
 namespace microlib::bench
@@ -30,10 +31,20 @@ std::vector<std::string> benchmarkSet();
 std::vector<std::string> mechanismSet();
 
 /**
- * Load the matrix for @p tag from the cache, or run it and store it.
- * The cached file stores IPCs plus the full per-run stat snapshots.
+ * The harness-wide ExperimentEngine. One engine per bench binary:
+ * its worker pool persists across matrices and its trace cache is
+ * shared, so binaries sweeping several configurations (Figures 8, 9
+ * and 11) materialize each benchmark window once, not once per
+ * matrix.
  */
-MatrixResult loadOrRun(const std::string &tag,
+ExperimentEngine &engine();
+
+/**
+ * Load the matrix for @p tag from the cache, or run it on @p eng and
+ * store it. The cached file stores IPCs plus the full per-run stat
+ * snapshots.
+ */
+MatrixResult loadOrRun(ExperimentEngine &eng, const std::string &tag,
                        const std::vector<std::string> &mechanisms,
                        const std::vector<std::string> &benchmarks,
                        const RunConfig &cfg);

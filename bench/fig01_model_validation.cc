@@ -33,8 +33,10 @@ runConfig(const std::vector<std::string> &benchs, const RunConfig &cfg,
 {
     double sum = 0.0;
     for (std::size_t b = 0; b < benchs.size(); ++b) {
-        const MaterializedTrace trace = materializeFor(benchs[b], cfg);
-        const RunOutput run = runOne(trace, "Base", cfg);
+        // The engine caches by resolved window, so the many
+        // alignment-step configs below share one trace per benchmark.
+        const auto trace = engine().trace(benchs[b], cfg);
+        const RunOutput run = runOne(*trace, "Base", cfg);
         const double ipc = run.ipc();
         if (out_ipc)
             (*out_ipc)[b] = ipc;

@@ -51,15 +51,16 @@ main()
     std::vector<unsigned> sign_flips(mechs.size(), 0);
 
     for (const auto &bench : benchs) {
-        const MaterializedTrace trace = materializeFor(bench, confirmed);
-        const double base_ipc = runOne(trace, "Base", confirmed).ipc();
+        const auto trace = engine().trace(bench, confirmed);
+        const double base_ipc =
+            runOne(*trace, "Base", confirmed).ipc();
 
         std::vector<std::string> row = {bench};
         for (std::size_t m = 0; m < mechs.size(); ++m) {
             const double article =
-                runOne(trace, mechs[m], confirmed).ipc() / base_ipc;
+                runOne(*trace, mechs[m], confirmed).ipc() / base_ipc;
             const double ours =
-                runOne(trace, mechs[m], guessed).ipc() / base_ipc;
+                runOne(*trace, mechs[m], guessed).ipc() / base_ipc;
             const double err = 100.0 * (ours - article) / article;
             err_sum[m] += std::abs(err);
             if ((article - 1.0) * (ours - 1.0) < 0)

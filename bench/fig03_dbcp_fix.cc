@@ -42,13 +42,12 @@ main()
 
     double avg_initial = 0.0, avg_fixed = 0.0, avg_delta = 0.0;
     for (const auto &bench : benchs) {
-        const MaterializedTrace trace =
-            materializeFor(bench, fixed_cfg);
-        const double base = runOne(trace, "Base", fixed_cfg).ipc();
+        const auto trace = engine().trace(bench, fixed_cfg);
+        const double base = runOne(*trace, "Base", fixed_cfg).ipc();
         const double init =
-            runOne(trace, "DBCP", initial_cfg).ipc() / base;
+            runOne(*trace, "DBCP", initial_cfg).ipc() / base;
         const double fixd =
-            runOne(trace, "DBCP", fixed_cfg).ipc() / base;
+            runOne(*trace, "DBCP", fixed_cfg).ipc() / base;
         avg_initial += init;
         avg_fixed += fixd;
         avg_delta += 100.0 * std::abs(fixd - init) / init;

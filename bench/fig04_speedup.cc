@@ -28,7 +28,7 @@ main()
 
     RunConfig cfg;
     const MatrixResult matrix =
-        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+        loadOrRun(engine(), "default_matrix", mechanismSet(), benchmarkSet(),
                   cfg);
 
     printRanking("Average speedup over all benchmarks (Figure 4)",

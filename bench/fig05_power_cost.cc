@@ -29,7 +29,7 @@ main()
 
     RunConfig cfg;
     const MatrixResult matrix =
-        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+        loadOrRun(engine(), "default_matrix", mechanismSet(), benchmarkSet(),
                   cfg);
     const std::size_t base_m = matrix.mechIndex("Base");
 

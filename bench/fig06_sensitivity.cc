@@ -27,7 +27,7 @@ main()
 
     RunConfig cfg;
     const MatrixResult matrix =
-        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+        loadOrRun(engine(), "default_matrix", mechanismSet(), benchmarkSet(),
                   cfg);
 
     const std::vector<double> sens = benchmarkSensitivity(matrix);

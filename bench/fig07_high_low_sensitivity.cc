@@ -25,7 +25,7 @@ main()
 
     RunConfig cfg;
     const MatrixResult matrix =
-        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+        loadOrRun(engine(), "default_matrix", mechanismSet(), benchmarkSet(),
                   cfg);
 
     const auto high = indicesOf(matrix, highSensitivitySelection());

@@ -39,11 +39,11 @@ main()
     RunConfig sdram170; // the default Table 1 SDRAM
 
     const MatrixResult m_const =
-        loadOrRun("const70_matrix", mechs, benchs, const70);
+        loadOrRun(engine(), "const70_matrix", mechs, benchs, const70);
     const MatrixResult m_s70 =
-        loadOrRun("sdram70_matrix", mechs, benchs, sdram70);
+        loadOrRun(engine(), "sdram70_matrix", mechs, benchs, sdram70);
     const MatrixResult m_s170 =
-        loadOrRun("default_matrix", mechs, benchs, sdram170);
+        loadOrRun(engine(), "default_matrix", mechs, benchs, sdram170);
 
     Table t("Average speedup per memory model");
     t.header({"mechanism", "const-70", "sdram-70", "sdram-170",

@@ -36,9 +36,9 @@ main()
     infinite.system.hier.l2.finite_mshr = false;
 
     const MatrixResult m_fin =
-        loadOrRun("default_matrix", mechs, benchs, finite);
+        loadOrRun(engine(), "default_matrix", mechs, benchs, finite);
     const MatrixResult m_inf =
-        loadOrRun("infinite_mshr_matrix", mechs, benchs, infinite);
+        loadOrRun(engine(), "infinite_mshr_matrix", mechs, benchs, infinite);
 
     Table t("Average speedup: finite vs infinite MSHR");
     t.header({"mechanism", "finite", "infinite", "delta %"});

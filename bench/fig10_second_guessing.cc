@@ -39,10 +39,10 @@ main()
 
     double avg1 = 0.0, avg128 = 0.0;
     for (const auto &bench : benchs) {
-        const MaterializedTrace trace = materializeFor(bench, big);
-        const double base = runOne(trace, "Base", big).ipc();
-        const double s1 = runOne(trace, "TCP", small).ipc() / base;
-        const double s128 = runOne(trace, "TCP", big).ipc() / base;
+        const auto trace = engine().trace(bench, big);
+        const double base = runOne(*trace, "Base", big).ipc();
+        const double s1 = runOne(*trace, "TCP", small).ipc() / base;
+        const double s128 = runOne(*trace, "TCP", big).ipc() / base;
         avg1 += s1;
         avg128 += s128;
         t.row({bench, Table::num(s1, 4), Table::num(s128, 4),

@@ -34,9 +34,9 @@ main()
     arbitrary.selection = TraceSelection::Arbitrary;
 
     const MatrixResult m_sp =
-        loadOrRun("default_matrix", mechs, benchs, simpoint);
+        loadOrRun(engine(), "default_matrix", mechs, benchs, simpoint);
     const MatrixResult m_arb =
-        loadOrRun("arbitrary_matrix", mechs, benchs, arbitrary);
+        loadOrRun(engine(), "arbitrary_matrix", mechs, benchs, arbitrary);
 
     Table t("Average speedup: SimPoint vs arbitrary trace");
     t.header({"mechanism", "simpoint", "arbitrary", "delta %"});

@@ -27,7 +27,7 @@ main()
 
     RunConfig cfg;
     const MatrixResult matrix =
-        loadOrRun("default_matrix", mechanismSet(), benchmarkSet(),
+        loadOrRun(engine(), "default_matrix", mechanismSet(), benchmarkSet(),
                   cfg);
 
     // Speedup matrix (Base included with speedup 1.0 everywhere).

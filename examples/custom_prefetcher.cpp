@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hh"
+#include "core/scheduler.hh"
 
 using namespace microlib;
 
@@ -65,12 +65,15 @@ main(int argc, char **argv)
                 "and SP on '%s'\n\n",
                 benchmark.c_str());
 
-    const MaterializedTrace trace = materializeFor(benchmark, cfg);
-    const double base = runOne(trace, "Base", cfg).ipc();
+    EngineOptions opts;
+    opts.threads = 1; // trace() runs on the caller; no pool needed
+    ExperimentEngine engine(opts);
+    const auto trace = engine.trace(benchmark, cfg);
+    const double base = runOne(*trace, "Base", cfg).ipc();
 
     std::printf("%-22s %8s %10s\n", "mechanism", "IPC", "speedup");
     for (const char *name : {"TP", "SP", "GHB"}) {
-        const RunOutput r = runOne(trace, name, cfg);
+        const RunOutput r = runOne(*trace, name, cfg);
         std::printf("%-22s %8.4f %10.3f\n", name, r.ipc(),
                     r.ipc() / base);
     }
@@ -78,13 +81,13 @@ main(int argc, char **argv)
     // The custom mechanism follows the exact same path: bind, attach,
     // run over the shared trace.
     for (unsigned degree : {1u, 2u, 4u}) {
-        Hierarchy hier(cfg.system.hier, trace.image);
+        Hierarchy hier(cfg.system.hier, trace->image);
         MechanismConfig mc;
         NextNLinePrefetcher mech(degree, mc);
         mech.bind(hier);
         hier.setClient(&mech);
         OoOCore core(cfg.system.core);
-        const CoreResult res = core.run(trace.records, hier);
+        const CoreResult res = core.run(trace->records, hier);
         std::printf("NextN(degree=%u)%6s %8.4f %10.3f\n", degree, "",
                     res.ipc, res.ipc / base);
     }

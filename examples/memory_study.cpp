@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hh"
+#include "core/scheduler.hh"
 
 using namespace microlib;
 
@@ -21,15 +21,15 @@ namespace
 {
 
 void
-study(const std::string &benchmark)
+study(ExperimentEngine &engine, const std::string &benchmark)
 {
     RunConfig sdram;
     RunConfig flat;
     flat.system = makeConstantMemoryBaseline(70);
 
-    const MaterializedTrace trace = materializeFor(benchmark, sdram);
-    const RunOutput rs = runOne(trace, "Base", sdram);
-    const RunOutput rf = runOne(trace, "Base", flat);
+    const auto trace = engine.trace(benchmark, sdram);
+    const RunOutput rs = runOne(*trace, "Base", sdram);
+    const RunOutput rf = runOne(*trace, "Base", flat);
 
     const double reads = rs.stat("dram.reads");
     const double hits = rs.stat("dram.row_hits");
@@ -57,12 +57,15 @@ main(int argc, char **argv)
 {
     std::printf("SDRAM vs constant-latency memory (cf. paper "
                 "Figure 8)\n\n");
+    EngineOptions opts;
+    opts.threads = 1; // trace() runs on the caller; no pool needed
+    ExperimentEngine engine(opts);
     if (argc > 1) {
-        study(argv[1]);
+        study(engine, argv[1]);
         return 0;
     }
-    study("swim");  // streaming: row-buffer friendly
-    study("lucas"); // bit-reversal: row-buffer hostile
+    study(engine, "swim");  // streaming: row-buffer friendly
+    study(engine, "lucas"); // bit-reversal: row-buffer hostile
     std::printf("The flat model treats both alike; the SDRAM model "
                 "separates them —\nwhich is exactly why the paper "
                 "finds rankings flip with model precision.\n");

@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/experiment.hh"
+#include "core/scheduler.hh"
 #include "sim/logging.hh"
 #include "trace/spec_suite.hh"
 
@@ -34,10 +34,16 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     cfg.scale.simpoint_trace));
 
-    const MaterializedTrace trace = materializeFor(benchmark, cfg);
+    // Both runs share one cached trace: bit-identical inputs, the
+    // paper's methodological requirement. threads=1: trace() runs on
+    // the caller, so a worker pool would only sit idle.
+    EngineOptions opts;
+    opts.threads = 1;
+    ExperimentEngine engine(opts);
+    const auto trace = engine.trace(benchmark, cfg);
 
-    const RunOutput base = runOne(trace, "Base", cfg);
-    const RunOutput mech = runOne(trace, mechanism, cfg);
+    const RunOutput base = runOne(*trace, "Base", cfg);
+    const RunOutput mech = runOne(*trace, mechanism, cfg);
 
     std::printf("\n%-10s IPC %.4f  (L1 miss rate %.2f%%, L2 misses %.0f)\n",
                 "Base", base.ipc(),

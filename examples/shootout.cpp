@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.hh"
 #include "core/ranking.hh"
+#include "core/scheduler.hh"
 
 using namespace microlib;
 
@@ -28,17 +28,19 @@ main(int argc, char **argv)
         benchmarks = {"swim", "mcf", "crafty"};
 
     RunConfig cfg;
+    ExperimentEngine engine;
     std::printf("Shootout over:");
     for (const auto &b : benchmarks)
         std::printf(" %s", b.c_str());
     std::printf("\n(13 mechanisms x %zu benchmarks; SimPoint windows "
-                "of %llu instructions)\n\n",
+                "of %llu instructions; %u workers)\n\n",
                 benchmarks.size(),
                 static_cast<unsigned long long>(
-                    cfg.scale.simpoint_trace));
+                    cfg.scale.simpoint_trace),
+                engine.threads());
 
     const MatrixResult matrix =
-        runMatrix(allMechanismNames(), benchmarks, cfg);
+        engine.run(allMechanismNames(), benchmarks, cfg);
 
     std::printf("%-8s", "mech");
     for (const auto &b : matrix.benchmarks)

@@ -1,13 +1,11 @@
 #include "core/experiment.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <thread>
 
+#include "core/scheduler.hh"
 #include "sim/logging.hh"
-#include "trace/simpoint.hh"
 #include "trace/spec_suite.hh"
+#include "trace/trace_cache.hh"
 
 namespace microlib
 {
@@ -19,35 +17,16 @@ RunOutput::stat(const std::string &name) const
     return it == stats.end() ? 0.0 : it->second;
 }
 
-namespace
-{
-
-/** Process-wide SimPoint cache: keyed by (benchmark, interval). */
-std::map<std::pair<std::string, std::uint64_t>, SimPointChoice>
-    simpoint_cache;
-
-SimPointChoice
-simPointFor(const std::string &benchmark, const TraceScale &scale)
-{
-    const auto key = std::make_pair(benchmark, scale.simpoint_interval);
-    auto it = simpoint_cache.find(key);
-    if (it != simpoint_cache.end())
-        return it->second;
-    const SimPointChoice choice = findSimPoint(
-        specProgram(benchmark), scale.simpoint_interval,
-        scale.simpoint_k);
-    simpoint_cache.emplace(key, choice);
-    return choice;
-}
-
-} // namespace
-
 MaterializedTrace
 materializeFor(const std::string &benchmark, const RunConfig &cfg)
 {
     TraceWindow window;
     if (cfg.selection == TraceSelection::SimPoint) {
-        const SimPointChoice sp = simPointFor(benchmark, cfg.scale);
+        // Mutex-guarded process-wide cache: the old bare map here
+        // raced when runMatrix() workers materialized concurrently.
+        const SimPointChoice sp = TraceCache::process().simPoint(
+            benchmark, cfg.scale.simpoint_interval,
+            cfg.scale.simpoint_k);
         window.skip = sp.start_instruction;
         window.length = cfg.scale.simpoint_trace;
     } else {
@@ -86,21 +65,47 @@ runOne(const MaterializedTrace &trace, const std::string &mechanism,
     return out;
 }
 
+void
+MatrixResult::buildIndices()
+{
+    _mech_index.clear();
+    _mech_index.reserve(mechanisms.size());
+    for (std::size_t i = 0; i < mechanisms.size(); ++i)
+        _mech_index.emplace(mechanisms[i], i);
+    _bench_index.clear();
+    _bench_index.reserve(benchmarks.size());
+    for (std::size_t i = 0; i < benchmarks.size(); ++i)
+        _bench_index.emplace(benchmarks[i], i);
+}
+
 std::size_t
 MatrixResult::mechIndex(const std::string &name) const
 {
-    for (std::size_t i = 0; i < mechanisms.size(); ++i)
-        if (mechanisms[i] == name)
-            return i;
+    if (!_mech_index.empty()) {
+        auto it = _mech_index.find(name);
+        if (it != _mech_index.end())
+            return it->second;
+    } else {
+        // Hand-assembled result without buildIndices(): stay correct.
+        auto it = std::find(mechanisms.begin(), mechanisms.end(), name);
+        if (it != mechanisms.end())
+            return static_cast<std::size_t>(it - mechanisms.begin());
+    }
     fatal("mechanism not in matrix: ", name);
 }
 
 std::size_t
 MatrixResult::benchIndex(const std::string &name) const
 {
-    for (std::size_t i = 0; i < benchmarks.size(); ++i)
-        if (benchmarks[i] == name)
-            return i;
+    if (!_bench_index.empty()) {
+        auto it = _bench_index.find(name);
+        if (it != _bench_index.end())
+            return it->second;
+    } else {
+        auto it = std::find(benchmarks.begin(), benchmarks.end(), name);
+        if (it != benchmarks.end())
+            return static_cast<std::size_t>(it - benchmarks.begin());
+    }
     fatal("benchmark not in matrix: ", name);
 }
 
@@ -135,52 +140,11 @@ runMatrix(const std::vector<std::string> &mechanisms,
           const std::vector<std::string> &benchmarks,
           const RunConfig &cfg, bool verbose)
 {
-    MatrixResult res;
-    res.mechanisms = mechanisms;
-    res.benchmarks = benchmarks;
-    res.ipc.assign(mechanisms.size(),
-                   std::vector<double>(benchmarks.size(), 0.0));
-    res.outputs.assign(mechanisms.size(),
-                       std::vector<RunOutput>(benchmarks.size()));
-
-    unsigned threads = std::thread::hardware_concurrency();
-    if (const char *env = std::getenv("MICROLIB_THREADS"))
-        threads = static_cast<unsigned>(std::atoi(env));
-    if (threads == 0)
-        threads = 1;
-
-    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-        const MaterializedTrace trace =
-            materializeFor(benchmarks[b], cfg);
-
-        // Mechanism runs over one trace are independent (each owns
-        // its hierarchy and core; the trace and image are shared
-        // read-only), so they parallelize trivially.
-        std::atomic<std::size_t> next{0};
-        auto worker = [&]() {
-            while (true) {
-                const std::size_t m =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (m >= mechanisms.size())
-                    return;
-                RunOutput out = runOne(trace, mechanisms[m], cfg);
-                res.ipc[m][b] = out.core.ipc;
-                res.outputs[m][b] = std::move(out);
-            }
-        };
-        std::vector<std::thread> pool;
-        for (unsigned t = 1; t < threads; ++t)
-            pool.emplace_back(worker);
-        worker();
-        for (auto &t : pool)
-            t.join();
-
-        if (verbose)
-            for (std::size_t m = 0; m < mechanisms.size(); ++m)
-                inform(benchmarks[b], " / ", mechanisms[m], ": IPC ",
-                       res.ipc[m][b]);
-    }
-    return res;
+    EngineOptions opts;
+    opts.verbose = verbose;
+    opts.keep_traces = false; // one-shot: the old memory profile
+    ExperimentEngine engine(opts);
+    return engine.run(mechanisms, benchmarks, cfg);
 }
 
 } // namespace microlib

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/baseline_config.hh"
@@ -54,8 +55,15 @@ struct RunOutput
     double stat(const std::string &name) const;
 };
 
-/** The trace window for @p benchmark under @p cfg; SimPoint choices
- *  are cached per (benchmark, scale) within the process. */
+/**
+ * The trace window for @p benchmark under @p cfg, materialized fresh
+ * on every call; SimPoint choices are cached per (benchmark, scale)
+ * in the process-wide TraceCache, so the lookup is thread-safe.
+ *
+ * Prefer ExperimentEngine::trace(), which also caches and shares the
+ * materialized records; this standalone fallback is kept for code
+ * that wants an owned copy.
+ */
 MaterializedTrace materializeFor(const std::string &benchmark,
                                  const RunConfig &cfg);
 
@@ -72,6 +80,15 @@ struct MatrixResult
     std::vector<std::vector<double>> ipc;
     std::vector<std::vector<RunOutput>> outputs;
 
+    /**
+     * Rebuild the name -> index maps behind mechIndex()/benchIndex()
+     * from the current name vectors. The engine and the bench cache
+     * loader call this; call it yourself after assembling a
+     * MatrixResult by hand if you query indices in a hot loop (the
+     * lookups fall back to a linear scan otherwise).
+     */
+    void buildIndices();
+
     std::size_t mechIndex(const std::string &name) const;
     std::size_t benchIndex(const std::string &name) const;
 
@@ -82,11 +99,22 @@ struct MatrixResult
      *  subset (empty = all). */
     double avgSpeedup(std::size_t m,
                       const std::vector<std::size_t> &subset = {}) const;
+
+  private:
+    /** Prebuilt lookups; empty until buildIndices() runs. */
+    std::unordered_map<std::string, std::size_t> _mech_index;
+    std::unordered_map<std::string, std::size_t> _bench_index;
 };
 
 /**
- * Run the full matrix. Benchmarks iterate outermost so each trace is
- * materialized exactly once.
+ * Run the full matrix: a thin compatibility wrapper that builds a
+ * one-shot ExperimentEngine (see core/scheduler.hh), runs every
+ * (benchmark, mechanism) pair on its persistent worker pool, and
+ * drops each trace once its runs complete. Each trace is still
+ * materialized exactly once, and the result is bit-identical for any
+ * MICROLIB_THREADS value. Long-lived callers running several
+ * matrices should hold an ExperimentEngine instead and reuse its
+ * trace cache.
  *
  * @param mechanisms mechanism acronyms; must include "Base" for
  *        speedup computation

@@ -1,0 +1,285 @@
+#include "core/scheduler.hh"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "sim/logging.hh"
+#include "trace/spec_suite.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+/** One cell of the matrix: mechanism index x benchmark index. */
+struct RunTask
+{
+    std::size_t m = 0;
+    std::size_t b = 0;
+};
+
+} // namespace
+
+/** A run whose trace another worker is still materializing. */
+struct DeferredRun
+{
+    RunTask task;
+    TraceCache::Future future;
+};
+
+/**
+ * Shared scheduling state for one run(). The task list is the flat
+ * enumeration of the matrix with benchmark varying slowest, so one
+ * benchmark's runs are contiguous and its trace can be evicted soon
+ * after its block drains (the keep_traces=false memory profile).
+ * Pipelining across benchmarks still happens: workers that find a
+ * trace in flight defer those runs (a mutex-bump per task, no
+ * simulation work) and fall through to the next benchmark's block,
+ * whose trace they materialize concurrently.
+ */
+struct ExperimentEngine::State
+{
+    const std::vector<std::string> &mechanisms;
+    const std::vector<std::string> &benchmarks;
+    const RunConfig &cfg;
+    MatrixResult &res;
+
+    std::vector<std::string> keys;       ///< trace key per benchmark
+    std::vector<std::size_t> remaining;  ///< unfinished runs per benchmark
+
+    std::mutex mu;
+    std::size_t next = 0;                ///< cursor into the flat order
+    std::deque<DeferredRun> deferred;    ///< runs awaiting their trace
+    std::size_t done = 0;                ///< finished runs (progress)
+    std::exception_ptr error;            ///< first failure, if any
+
+    State(const std::vector<std::string> &mechs,
+          const std::vector<std::string> &benchs, const RunConfig &c,
+          MatrixResult &r)
+        : mechanisms(mechs), benchmarks(benchs), cfg(c), res(r),
+          remaining(benchs.size(), mechs.size())
+    {
+        keys.reserve(benchs.size());
+        for (const auto &b : benchs)
+            keys.push_back(traceKey(b, c));
+    }
+
+    std::size_t total() const
+    {
+        return mechanisms.size() * benchmarks.size();
+    }
+
+    RunTask decode(std::size_t flat) const
+    {
+        return {flat % mechanisms.size(), flat / mechanisms.size()};
+    }
+};
+
+ExperimentEngine::ExperimentEngine(EngineOptions opts)
+    : _opts(opts),
+      _pool((opts.threads ? opts.threads
+                          : ThreadPool::defaultThreadCount()) - 1)
+{
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+std::string
+ExperimentEngine::traceKey(const std::string &benchmark,
+                           const RunConfig &cfg)
+{
+    std::string key = benchmark;
+    key += '\0';
+    if (cfg.selection == TraceSelection::SimPoint) {
+        key += "sp";
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_interval);
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_k);
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_trace);
+    } else {
+        key += "arb";
+        key += '\0';
+        key += std::to_string(cfg.scale.arbitrary_skip);
+        key += '\0';
+        key += std::to_string(cfg.scale.arbitrary_length);
+    }
+    return key;
+}
+
+std::shared_ptr<const MaterializedTrace>
+ExperimentEngine::materializeInto(const std::string &key,
+                                  const std::string &benchmark,
+                                  const RunConfig &cfg)
+{
+    try {
+        TraceWindow window;
+        if (cfg.selection == TraceSelection::SimPoint) {
+            // The process-wide cache, not the engine's: SimPoint
+            // choices are pure (benchmark, interval, k) functions and
+            // expensive, so one-shot engines (runMatrix) must not
+            // recompute what an earlier call already profiled.
+            const SimPointChoice sp = TraceCache::process().simPoint(
+                benchmark, cfg.scale.simpoint_interval,
+                cfg.scale.simpoint_k);
+            window.skip = sp.start_instruction;
+            window.length = cfg.scale.simpoint_trace;
+        } else {
+            window.skip = cfg.scale.arbitrary_skip;
+            window.length = cfg.scale.arbitrary_length;
+        }
+        _cache.fulfill(key,
+                       materialize(specProgram(benchmark), window));
+    } catch (...) {
+        _cache.fail(key, std::current_exception());
+        throw;
+    }
+    return _cache.wait(key);
+}
+
+std::shared_ptr<const MaterializedTrace>
+ExperimentEngine::trace(const std::string &benchmark,
+                        const RunConfig &cfg)
+{
+    const std::string key = traceKey(benchmark, cfg);
+    TraceCache::Future fut;
+    if (_cache.claim(key, fut) == TraceCache::Claim::Owner)
+        return materializeInto(key, benchmark, cfg);
+    return fut.get();
+}
+
+void
+ExperimentEngine::drain(State &st)
+{
+    for (;;) {
+        RunTask task;
+        TraceCache::Future deferred_fut;
+        bool have = false;
+        bool must_wait = false;
+        {
+            std::unique_lock<std::mutex> lock(st.mu);
+            if (st.error)
+                return; // a sibling failed: stop picking up work
+            // Deferred runs whose trace has landed come first: their
+            // benchmark is fully paid for.
+            for (auto it = st.deferred.begin();
+                 it != st.deferred.end(); ++it) {
+                if (it->future.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                    task = it->task;
+                    deferred_fut = it->future;
+                    st.deferred.erase(it);
+                    have = true;
+                    must_wait = true;
+                    break;
+                }
+            }
+            if (!have && st.next < st.total()) {
+                task = st.decode(st.next++);
+                have = true;
+            }
+            if (!have && !st.deferred.empty()) {
+                // Nothing else to steal: block on a pending trace.
+                task = st.deferred.front().task;
+                deferred_fut = st.deferred.front().future;
+                st.deferred.pop_front();
+                have = true;
+                must_wait = true;
+            }
+            if (!have)
+                return;
+        }
+
+        const std::string &key = st.keys[task.b];
+        TraceCache::TracePtr trace;
+        if (must_wait) {
+            // Deferred runs keep the future from their original
+            // claim: even if the owner failed and the cache entry
+            // was dropped for retry, this surfaces that error
+            // instead of panicking on a missing key.
+            trace = deferred_fut.get();
+        } else {
+            TraceCache::Future fut;
+            switch (_cache.claim(key, fut)) {
+              case TraceCache::Claim::Owner:
+                trace = materializeInto(key, st.benchmarks[task.b],
+                                        st.cfg);
+                break;
+              case TraceCache::Claim::Ready:
+                trace = fut.get();
+                break;
+              case TraceCache::Claim::Pending:
+                // Someone else is materializing: steal unrelated
+                // work instead of idling on the future.
+                std::unique_lock<std::mutex> lock(st.mu);
+                st.deferred.push_back({task, std::move(fut)});
+                continue;
+            }
+        }
+
+        RunOutput out = runOne(*trace, st.mechanisms[task.m], st.cfg);
+        // Each task owns its (m, b) slot exclusively: no lock needed,
+        // and the matrix is identical for any worker count.
+        st.res.ipc[task.m][task.b] = out.core.ipc;
+        st.res.outputs[task.m][task.b] = std::move(out);
+
+        std::size_t done_now = 0;
+        bool evict = false;
+        {
+            std::unique_lock<std::mutex> lock(st.mu);
+            done_now = ++st.done;
+            if (--st.remaining[task.b] == 0 && !_opts.keep_traces)
+                evict = true;
+        }
+        if (evict)
+            _cache.evict(key);
+        if (_opts.verbose)
+            inform("[", done_now, "/", st.total(), "] ",
+                   st.benchmarks[task.b], " / ",
+                   st.mechanisms[task.m], ": IPC ",
+                   st.res.ipc[task.m][task.b]);
+    }
+}
+
+MatrixResult
+ExperimentEngine::run(const std::vector<std::string> &mechanisms,
+                      const std::vector<std::string> &benchmarks,
+                      const RunConfig &cfg)
+{
+    MatrixResult res;
+    res.mechanisms = mechanisms;
+    res.benchmarks = benchmarks;
+    res.ipc.assign(mechanisms.size(),
+                   std::vector<double>(benchmarks.size(), 0.0));
+    res.outputs.assign(mechanisms.size(),
+                       std::vector<RunOutput>(benchmarks.size()));
+    res.buildIndices();
+    if (mechanisms.empty() || benchmarks.empty())
+        return res;
+
+    State st(mechanisms, benchmarks, cfg, res);
+    // Failures are captured, never thrown across the pool: every
+    // worker must come home before State leaves scope.
+    auto guarded = [this, &st] {
+        try {
+            drain(st);
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(st.mu);
+            if (!st.error)
+                st.error = std::current_exception();
+        }
+    };
+    for (unsigned t = 0; t < _pool.size(); ++t)
+        _pool.submit(guarded);
+    guarded(); // the calling thread is worker zero
+    _pool.wait();
+    if (st.error)
+        std::rethrow_exception(st.error);
+    return res;
+}
+
+} // namespace microlib

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ExperimentEngine: the matrix-wide experiment scheduler.
+ *
+ * The old runMatrix() walked benchmarks one at a time: materialize
+ * the trace, spawn a thread team over the mechanisms, join, repeat.
+ * That design erects a full barrier after every benchmark, caps
+ * parallelism at the mechanism count, and pays thread creation per
+ * benchmark. The engine instead drains ONE work queue holding every
+ * (benchmark, mechanism) run of the matrix on a persistent worker
+ * pool:
+ *
+ *  - the first worker to need a benchmark's trace becomes its owner
+ *    and materializes it once into the engine's TraceCache;
+ *  - workers that hit a trace still being materialized defer that
+ *    run and steal unrelated work instead of blocking;
+ *  - only when no other work exists does a worker wait on a trace's
+ *    shared_future.
+ *
+ * Every run writes its pre-assigned (m, b) slot of MatrixResult, so
+ * the IPC matrix is bit-identical for any MICROLIB_THREADS value:
+ * scheduling order affects wall-clock only, never results. The
+ * engine outlives individual matrices; traces (and SimPoint choices)
+ * are shared across run() calls, so e.g. a finite- vs infinite-MSHR
+ * study materializes each benchmark once, not twice.
+ */
+
+#ifndef MICROLIB_CORE_SCHEDULER_HH
+#define MICROLIB_CORE_SCHEDULER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/thread_pool.hh"
+#include "trace/trace_cache.hh"
+
+namespace microlib
+{
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Worker threads including the caller; 0 = MICROLIB_THREADS or
+     *  hardware concurrency. */
+    unsigned threads = 0;
+
+    /** Log each finished run plus a progress counter. */
+    bool verbose = false;
+
+    /**
+     * Keep traces cached after their runs complete, so later
+     * matrices on the same engine reuse them. Disable to drop each
+     * benchmark's trace the moment its last run finishes — the old
+     * runMatrix() memory profile.
+     */
+    bool keep_traces = true;
+};
+
+/** Matrix-wide experiment scheduler over a persistent thread pool. */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(EngineOptions opts = {});
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /**
+     * Run the full @p mechanisms x @p benchmarks matrix under
+     * @p cfg. Results land in deterministic (m, b) slots regardless
+     * of worker count or scheduling order. Not reentrant: one run()
+     * at a time per engine.
+     */
+    MatrixResult run(const std::vector<std::string> &mechanisms,
+                     const std::vector<std::string> &benchmarks,
+                     const RunConfig &cfg);
+
+    /**
+     * The cached trace for (@p benchmark, @p cfg), materializing it
+     * on first use. Configurations that resolve to the same window
+     * share one materialization.
+     */
+    std::shared_ptr<const MaterializedTrace>
+    trace(const std::string &benchmark, const RunConfig &cfg);
+
+    /** Total worker count, the calling thread included. */
+    unsigned threads() const { return _pool.size() + 1; }
+
+    /** The engine's trace cache (tests and memory-conscious callers:
+     *  cache().clear() releases all retained traces). */
+    TraceCache &cache() { return _cache; }
+
+    /**
+     * Cache key for (@p benchmark, @p cfg): benchmark plus the
+     * resolved trace window — everything a materialized trace
+     * depends on.
+     */
+    static std::string traceKey(const std::string &benchmark,
+                                const RunConfig &cfg);
+
+  private:
+    struct State;
+
+    void drain(State &st);
+    std::shared_ptr<const MaterializedTrace>
+    materializeInto(const std::string &key, const std::string &benchmark,
+                    const RunConfig &cfg);
+
+    EngineOptions _opts;
+    TraceCache _cache;
+    ThreadPool _pool;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_SCHEDULER_HH

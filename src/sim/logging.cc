@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace microlib
 {
@@ -9,6 +10,9 @@ namespace microlib
 namespace
 {
 bool logging_enabled = true;
+
+/** Serializes output: experiment workers log concurrently. */
+std::mutex log_mu;
 }
 
 void
@@ -37,6 +41,7 @@ fatalImpl(const std::string &msg, const char *file, int line)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mu);
     if (logging_enabled)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -44,6 +49,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(log_mu);
     if (logging_enabled)
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }

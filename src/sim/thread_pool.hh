@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Persistent worker pool for the experiment engine.
+ *
+ * The engine used to spawn and join a fresh std::thread team for
+ * every benchmark — thousands of thread creations per full matrix.
+ * This pool is created once, lives as long as its owner, and drains
+ * whatever jobs are submitted to it; wait() provides the only
+ * barrier, and only when the caller asks for one.
+ */
+
+#ifndef MICROLIB_SIM_THREAD_POOL_HH
+#define MICROLIB_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace microlib
+{
+
+/**
+ * Fixed-size pool of worker threads draining a FIFO job queue.
+ *
+ * Jobs must not throw (simulator errors go through fatal()/panic(),
+ * which terminate the process). A pool of size 0 is valid: submit()
+ * then runs the job inline, so callers never special-case the
+ * single-threaded configuration.
+ */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** Spawn @p workers threads (0 = run everything inline). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job; runs it inline when the pool has no workers. */
+    void submit(Job job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Number of worker threads (0 = inline mode). */
+    unsigned size() const { return static_cast<unsigned>(_workers.size()); }
+
+    /**
+     * The process default worker count: MICROLIB_THREADS if set,
+     * otherwise std::thread::hardware_concurrency(), never 0.
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::mutex _mu;
+    std::condition_variable _work_ready; ///< queue became non-empty
+    std::condition_variable _idle;       ///< in-flight count hit zero
+    std::deque<Job> _queue;
+    std::size_t _in_flight = 0; ///< queued + currently running jobs
+    bool _stopping = false;
+    std::vector<std::thread> _workers;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_SIM_THREAD_POOL_HH

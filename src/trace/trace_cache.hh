@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Thread-safe cache of materialized trace windows and SimPoint
+ * choices.
+ *
+ * The first thread to need a trace becomes its *owner* and
+ * materializes it exactly once; every other thread observes a
+ * std::shared_future for the entry and can either wait on it or go
+ * run unrelated work first (the experiment scheduler does the
+ * latter). Entries are keyed by an opaque string that must encode
+ * everything the trace depends on — benchmark plus the resolved
+ * window — so two configurations with identical windows share one
+ * materialization.
+ *
+ * This subsumes the old process-wide `simpoint_cache` map in
+ * experiment.cc, which was written from multiple worker threads with
+ * no synchronization at all.
+ */
+
+#ifndef MICROLIB_TRACE_TRACE_CACHE_HH
+#define MICROLIB_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/simpoint.hh"
+#include "trace/window.hh"
+
+namespace microlib
+{
+
+/** Concurrent trace store with single-materialization semantics. */
+class TraceCache
+{
+  public:
+    using TracePtr = std::shared_ptr<const MaterializedTrace>;
+    using Future = std::shared_future<TracePtr>;
+    using Materializer = std::function<MaterializedTrace()>;
+
+    /** Outcome of claim(): what the caller should do next. */
+    enum class Claim
+    {
+        Owner,   ///< caller must materialize and fulfill() (or fail())
+        Ready,   ///< the future already holds the trace
+        Pending, ///< another thread is materializing; wait or defer
+    };
+
+    /**
+     * Look up @p key; if absent, the caller becomes the owner of a
+     * fresh entry and MUST later call fulfill() or fail() for it.
+     * @p out always receives the entry's future.
+     */
+    Claim claim(const std::string &key, Future &out);
+
+    /** Publish the owner's materialized trace for @p key. */
+    void fulfill(const std::string &key, MaterializedTrace trace);
+
+    /** Propagate a materialization failure to all waiters of @p key. */
+    void fail(const std::string &key, std::exception_ptr err);
+
+    /** True when @p key holds a trace that can be read without
+     *  blocking. */
+    bool ready(const std::string &key) const;
+
+    /** Block until @p key's trace is available (fatal if the key was
+     *  never claimed). */
+    TracePtr wait(const std::string &key) const;
+
+    /**
+     * Blocking convenience: return the cached trace for @p key, the
+     * first caller materializing it via @p make. Concurrent callers
+     * for the same key run @p make exactly once.
+     */
+    TracePtr get(const std::string &key, const Materializer &make);
+
+    /** Drop @p key (no-op when absent). In-flight waiters keep their
+     *  shared_future alive; only the cache's reference is released. */
+    void evict(const std::string &key);
+
+    /** Drop every trace entry (SimPoint choices are kept: they are a
+     *  few dozen bytes each and expensive to recompute). */
+    void clear();
+
+    /** Number of trace entries, ready or in flight. */
+    std::size_t traceCount() const;
+
+    /**
+     * SimPoint choice for (@p benchmark, @p interval, @p k), computed
+     * once per process and cached. Mutex-guarded: safe to call from
+     * any worker thread, unlike the old bare map.
+     */
+    SimPointChoice simPoint(const std::string &benchmark,
+                            std::uint64_t interval, unsigned k);
+
+    /** Number of cached SimPoint choices. */
+    std::size_t simPointCount() const;
+
+    /** The process-wide instance backing materializeFor(). */
+    static TraceCache &process();
+
+  private:
+    mutable std::mutex _mu;
+    std::unordered_map<std::string, Future> _traces;
+    /** Promises for entries still being materialized by their owner. */
+    std::unordered_map<std::string, std::promise<TracePtr>> _inflight;
+
+    mutable std::mutex _sp_mu;
+    /** Keyed by benchmark\0interval\0k. */
+    std::unordered_map<std::string, std::shared_future<SimPointChoice>>
+        _simpoints;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_TRACE_CACHE_HH

@@ -79,7 +79,8 @@ TEST(Experiment, SpeedupAlgebra)
 TEST(Experiment, MatrixParallelismInvariant)
 {
     // The same matrix computed serially and with 2 workers must be
-    // identical (runs are independent).
+    // bit-identical, down to the stat snapshots (runs are
+    // independent and slots are pre-assigned).
     const RunConfig cfg = quickConfig();
     setenv("MICROLIB_THREADS", "1", 1);
     const MatrixResult serial =
@@ -88,8 +89,34 @@ TEST(Experiment, MatrixParallelismInvariant)
     const MatrixResult parallel =
         runMatrix({"Base", "TP", "SP"}, {"gzip"}, cfg);
     unsetenv("MICROLIB_THREADS");
-    for (std::size_t m = 0; m < serial.ipc.size(); ++m)
-        EXPECT_DOUBLE_EQ(serial.ipc[m][0], parallel.ipc[m][0]);
+    for (std::size_t m = 0; m < serial.ipc.size(); ++m) {
+        EXPECT_EQ(serial.ipc[m][0], parallel.ipc[m][0]);
+        EXPECT_EQ(serial.outputs[m][0].stats,
+                  parallel.outputs[m][0].stats);
+    }
+}
+
+TEST(Experiment, IndexLookups)
+{
+    const RunConfig cfg = quickConfig();
+    const MatrixResult res =
+        runMatrix({"Base", "TP"}, {"crafty", "swim"}, cfg);
+    // Engine-produced matrices carry prebuilt indices.
+    EXPECT_EQ(res.mechIndex("Base"), 0u);
+    EXPECT_EQ(res.mechIndex("TP"), 1u);
+    EXPECT_EQ(res.benchIndex("crafty"), 0u);
+    EXPECT_EQ(res.benchIndex("swim"), 1u);
+
+    // Hand-assembled matrices still resolve via the fallback scan,
+    // and buildIndices() can be called explicitly.
+    MatrixResult hand;
+    hand.mechanisms = {"Base", "GHB"};
+    hand.benchmarks = {"mcf"};
+    EXPECT_EQ(hand.mechIndex("GHB"), 1u);
+    EXPECT_EQ(hand.benchIndex("mcf"), 0u);
+    hand.buildIndices();
+    EXPECT_EQ(hand.mechIndex("GHB"), 1u);
+    EXPECT_EQ(hand.benchIndex("mcf"), 0u);
 }
 
 TEST(Experiment, StatsSnapshotsPopulated)

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiment.hh"
+#include "core/scheduler.hh"
 #include "trace/spec_suite.hh"
 
 using namespace microlib;
@@ -20,13 +20,22 @@ quick()
     return cfg;
 }
 
+/** One engine for the whole suite: tests with identical windows
+ *  share materialized traces instead of regenerating them. */
+ExperimentEngine &
+engine()
+{
+    static ExperimentEngine the_engine;
+    return the_engine;
+}
+
 double
 speedupOf(const std::string &bench, const std::string &mech,
           const RunConfig &cfg)
 {
-    const MaterializedTrace trace = materializeFor(bench, cfg);
-    const double base = runOne(trace, "Base", cfg).ipc();
-    return runOne(trace, mech, cfg).ipc() / base;
+    const auto trace = engine().trace(bench, cfg);
+    const double base = runOne(*trace, "Base", cfg).ipc();
+    return runOne(*trace, mech, cfg).ipc() / base;
 }
 
 } // namespace
@@ -61,12 +70,12 @@ TEST(Integration, CdpPrefersTwolfOverMcf)
 TEST(Integration, MarkovWinsGzip)
 {
     const RunConfig cfg = quick();
-    const MaterializedTrace trace = materializeFor("gzip", cfg);
-    const double base = runOne(trace, "Base", cfg).ipc();
-    const double markov = runOne(trace, "Markov", cfg).ipc() / base;
+    const auto trace = engine().trace("gzip", cfg);
+    const double base = runOne(*trace, "Base", cfg).ipc();
+    const double markov = runOne(*trace, "Markov", cfg).ipc() / base;
     // Markov must beat the stride prefetchers on gzip (paper).
-    const double sp = runOne(trace, "SP", cfg).ipc() / base;
-    const double ghb = runOne(trace, "GHB", cfg).ipc() / base;
+    const double sp = runOne(*trace, "SP", cfg).ipc() / base;
+    const double ghb = runOne(*trace, "GHB", cfg).ipc() / base;
     EXPECT_GT(markov, 1.01);
     EXPECT_GT(markov, sp);
     EXPECT_GT(markov, ghb);
@@ -90,10 +99,10 @@ TEST(Integration, DbcpFixedBeatsInitial)
     RunConfig fixed = quick();
     RunConfig initial = quick();
     initial.mech.second_guess = true;
-    const MaterializedTrace trace = materializeFor("crafty", fixed);
-    const double base = runOne(trace, "Base", fixed).ipc();
-    const double f = runOne(trace, "DBCP", fixed).ipc() / base;
-    const double i = runOne(trace, "DBCP", initial).ipc() / base;
+    const auto trace = engine().trace("crafty", fixed);
+    const double base = runOne(*trace, "Base", fixed).ipc();
+    const double f = runOne(*trace, "DBCP", fixed).ipc() / base;
+    const double i = runOne(*trace, "DBCP", initial).ipc() / base;
     EXPECT_GE(f, i - 0.01); // the fix never hurts materially
 }
 
@@ -118,10 +127,10 @@ TEST(Integration, LucasIsDramPathological)
     cfg.selection = TraceSelection::Arbitrary;
     cfg.scale.arbitrary_skip = 1'300'000;
     cfg.scale.arbitrary_length = 400'000;
-    const MaterializedTrace lucas = materializeFor("lucas", cfg);
-    const MaterializedTrace gzip = materializeFor("gzip", cfg);
-    const RunOutput rl = runOne(lucas, "Base", cfg);
-    const RunOutput rg = runOne(gzip, "Base", cfg);
+    const auto lucas = engine().trace("lucas", cfg);
+    const auto gzip = engine().trace("gzip", cfg);
+    const RunOutput rl = runOne(*lucas, "Base", cfg);
+    const RunOutput rg = runOne(*gzip, "Base", cfg);
     // Figure 8's latency spread: lucas's average DRAM latency far
     // above gzip's.
     EXPECT_GT(rl.stat("dram.latency"),

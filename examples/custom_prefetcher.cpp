@@ -87,7 +87,9 @@ main(int argc, char **argv)
         mech.bind(hier);
         hier.setClient(&mech);
         OoOCore core(cfg.system.core);
-        const CoreResult res = core.run(trace->records, hier);
+        // The cached trace carries a prebuilt SoA view: stream it
+        // instead of the AoS records.
+        const CoreResult res = core.run(trace->view(), hier);
         std::printf("NextN(degree=%u)%6s %8.4f %10.3f\n", degree, "",
                     res.ipc, res.ipc / base);
     }

@@ -58,10 +58,9 @@ runOne(const MaterializedTrace &trace, const std::string &mechanism,
     }
 
     OoOCore core(cfg.system.core);
-    out.core = core.run(trace.records, hier);
+    out.core = core.run(trace.view(), hier);
 
-    for (const auto &name : stats.names())
-        out.stats[name] = stats.get(name);
+    stats.snapshot(out.stats);
     return out;
 }
 

@@ -21,6 +21,7 @@
 #include "mem/hierarchy.hh"
 #include "sim/stats.hh"
 #include "trace/record.hh"
+#include "trace/trace_view.hh"
 
 namespace microlib
 {
@@ -63,8 +64,26 @@ class OoOCore
      * Run @p trace against @p mem and return timing results.
      * The core is reset first; the hierarchy is not (caller decides
      * warm/cold state).
+     *
+     * This is the hot path: the dependence-timestamp algebra and the
+     * memory-hierarchy visits stream over the view's dense parallel
+     * arrays in fixed-size blocks. Results are bit-identical to
+     * runReference() on the same record stream.
      */
+    CoreResult run(const TraceView &trace, Hierarchy &mem);
+
+    /** Convenience overload: transposes @p trace into a temporary
+     *  SoA and runs it. Callers holding a MaterializedTrace should
+     *  pass its prebuilt view() instead. */
     CoreResult run(const Trace &trace, Hierarchy &mem);
+
+    /**
+     * The seed's record-at-a-time AoS loop, kept verbatim as the
+     * correctness oracle for the SoA hot path (the determinism test
+     * asserts bit-identical CoreResult and hierarchy counters) and
+     * as the baseline side of the BM_TraceViewRun microbenchmark.
+     */
+    CoreResult runReference(const Trace &trace, Hierarchy &mem);
 
     const CoreParams &params() const { return _p; }
 
@@ -74,6 +93,11 @@ class OoOCore
 
     /** History ring large enough for 255-distance dependences. */
     static constexpr std::size_t history = 512;
+
+    /** Records streamed per block of the SoA loop: long enough to
+     *  amortize the span pointer setup, short enough that the six
+     *  live arrays stay resident in L1. */
+    static constexpr std::size_t block_size = 256;
 
     std::vector<Cycle> _complete; // ring: completion per instruction
     std::vector<Cycle> _dispatch; // ring: dispatch per instruction

@@ -3,9 +3,22 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/memory_image.hh"
 
 namespace microlib
 {
+
+void
+CacheHookShim::refillContent(Addr line_addr, AccessKind cause,
+                             Cycle now) const
+{
+    std::vector<Word> words;
+    if (_image)
+        _image->readLine(line_addr, _line_bytes, words);
+    else
+        words.assign(_line_bytes / 8, 0);
+    _client->lineContent(_level, line_addr, words, cause, now);
+}
 
 Cache::Cache(const CacheParams &p, MemDevice *parent, Bus *parent_bus)
     : _p(p), _parent(parent), _parent_bus(parent_bus),
@@ -22,6 +35,10 @@ Cache::Cache(const CacheParams &p, MemDevice *parent, Bus *parent_bus)
         fatal("cache '", p.name, "': set count must be a power of two");
     if (p.ports == 0)
         fatal("cache '", p.name, "': needs at least one port");
+    if (p.assoc > 64)
+        fatal("cache '", p.name,
+              "': associativity above 64 exceeds the occupancy mask");
+    _wb.kind = AccessKind::Writeback;
 }
 
 int
@@ -86,30 +103,20 @@ Cache::install(Addr line_addr, bool dirty, bool prefetched, Cycle now,
         return static_cast<unsigned>(w);
     }
 
-    std::vector<bool> valid(_p.assoc);
+    // Occupancy as a 64-bit mask: the seed built a std::vector<bool>
+    // here — a heap allocation on every miss.
+    std::uint64_t valid = 0;
     for (unsigned w = 0; w < _p.assoc; ++w)
-        valid[w] = lineAt(set, w).valid;
+        valid |= std::uint64_t{lineAt(set, w).valid} << w;
     const unsigned victim =
         static_cast<unsigned>(_lru.victim(set, valid));
 
     Line &l = lineAt(set, victim);
     if (l.valid) {
         ++evictions;
-        if (_hooks)
-            _hooks->onEvict(l.tag, l.dirty, now);
-        if (l.dirty) {
-            ++writebacks;
-            if (_parent) {
-                Cycle t = now;
-                if (_parent_bus)
-                    t = _parent_bus->transfer(t, _p.line);
-                MemRequest wb;
-                wb.addr = l.tag;
-                wb.kind = AccessKind::Writeback;
-                wb.when = t;
-                _parent->access(wb); // posted
-            }
-        }
+        _hooks.onEvict(l.tag, l.dirty, now);
+        if (l.dirty)
+            writebackVictim(l.tag, now);
     }
 
     l.tag = lineAddr(line_addr);
@@ -119,6 +126,23 @@ Cache::install(Addr line_addr, bool dirty, bool prefetched, Cycle now,
     l.prefetched = prefetched;
     _lru.touch(set, victim);
     return victim;
+}
+
+void
+Cache::writebackVictim(Addr tag, Cycle now)
+{
+    ++writebacks;
+    if (!_parent)
+        return;
+    Cycle t = now;
+    if (_parent_bus)
+        t = _parent_bus->transfer(t, _p.line);
+    // _wb is a hoisted member (kind fixed at construction): the miss
+    // path performs no request construction, only field updates.
+    _wb.addr = tag;
+    _wb.when = t;
+    _wb.pc = 0;
+    _parent->access(_wb); // posted
 }
 
 Cycle
@@ -169,8 +193,7 @@ Cache::handleWriteback(const MemRequest &req)
     } else {
         // Full-line write from the child: allocate without fetching.
         install(line, true, false, t, t);
-        if (_hooks)
-            _hooks->onRefill(line, AccessKind::Writeback, t);
+        _hooks.onRefill(line, AccessKind::Writeback, t);
     }
     return t + 1;
 }
@@ -209,8 +232,7 @@ Cache::access(const MemRequest &req)
             if (req.kind == AccessKind::DemandWrite)
                 l.dirty = true;
             _lru.touch(set, static_cast<unsigned>(w));
-            if (_hooks)
-                _hooks->onAccess(req, true, first_use);
+            _hooks.onAccess(req, true, first_use);
         }
         // A hit on a line whose fill is still in flight waits for the
         // data: this is how merging with an in-flight (pre)fetch is
@@ -225,19 +247,18 @@ Cache::access(const MemRequest &req)
     // ----------------------------------------------------------- miss
     if (demand) {
         ++demand_misses;
-        if (_hooks)
-            _hooks->onAccess(req, false, false);
+        _hooks.onAccess(req, false, false);
 
         // Side structures (victim cache, FVC, prefetch buffers) may
         // hold the line.
         Cycle extra = 0;
-        if (_hooks && _hooks->onMissProbe(line, t + _p.latency, extra)) {
+        if (_hooks.onMissProbe(line, t + _p.latency, extra)) {
             ++side_fills;
             install(line, req.kind == AccessKind::DemandWrite, false,
                     t, t + _p.latency + extra);
             // A side fill is a refill too: generation-tracking
             // mechanisms must see the line enter the cache.
-            _hooks->onRefill(line, req.kind, t + _p.latency + extra);
+            _hooks.onRefill(line, req.kind, t + _p.latency + extra);
             return t + _p.latency + extra;
         }
     } else if (_p.pipeline_stalls) {
@@ -280,8 +301,7 @@ Cache::access(const MemRequest &req)
         ++prefetch_fills;
     if (used_mshr)
         _mshr.complete(line, fill + 1);
-    if (_hooks)
-        _hooks->onRefill(line, req.kind, fill);
+    _hooks.onRefill(line, req.kind, fill);
 
     return fill + 1;
 }

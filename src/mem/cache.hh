@@ -12,9 +12,13 @@
  *  - back-pressure to the LSQ (exposed via delayed acceptance),
  *  - refills consume real cache ports (SimpleScalar: free ports).
  *
- * Mechanisms observe the cache through the CacheHooks interface:
+ * Mechanisms observe the cache through the sealed CacheHookShim:
  * demand accesses, miss-probes (victim caches and prefetch buffers can
- * supply a missing line from a side structure), evictions and refills.
+ * supply a missing line from a side structure), evictions and refills
+ * dispatch through one inlined shim straight into the bound
+ * HierarchyClient — a single indirect call per event instead of the
+ * old two-deep virtual chain, and none at all when no mechanism is
+ * attached.
  */
 
 #ifndef MICROLIB_MEM_CACHE_HH
@@ -25,6 +29,7 @@
 
 #include "mem/mshr.hh"
 #include "mem/bus.hh"
+#include "mem/hierarchy_client.hh"
 #include "mem/replacement.hh"
 #include "mem/request.hh"
 #include "mem/resource.hh"
@@ -34,48 +39,80 @@
 namespace microlib
 {
 
-/** Observer interface for cache mechanisms (wired by the Hierarchy). */
-class CacheHooks
+class MemoryImage; // trace layer; only the cold content path reads it
+
+/**
+ * Sealed static-dispatch shim between a cache and the mechanism
+ * observing it.
+ *
+ * The seed model routed every cache event through a virtual
+ * CacheHooks adapter that itself virtual-dispatched into the
+ * HierarchyClient — two indirect calls per demand access on the L1
+ * path. This shim is final, held by value inside the Cache, and every
+ * hot method is an inline null-check plus at most one virtual call
+ * into the client. `wantsLineContent` is sampled once at bind time so
+ * refills pay for line-content materialization only when a
+ * content-directed mechanism (CDP) is actually listening.
+ */
+class CacheHookShim final
 {
   public:
-    virtual ~CacheHooks() = default;
-
-    /** Demand access outcome (called for loads/stores/ifetches).
-     *  @param first_use true when this is the first demand hit on a
-     *  line brought in by a prefetch. */
-    virtual void
-    onAccess(const MemRequest &req, bool hit, bool first_use)
+    /** Attach @p client (nullptr detaches). @p image backs the
+     *  line-content callback; @p line_bytes is the cache's line. */
+    void
+    bind(HierarchyClient *client, CacheLevel level,
+         const MemoryImage *image, std::uint64_t line_bytes)
     {
-        (void)req; (void)hit; (void)first_use;
+        _client = client;
+        _level = level;
+        _image = image;
+        _line_bytes = line_bytes;
+        _wants_content = client && client->wantsLineContent(level);
     }
 
-    /**
-     * Demand miss: offer the line from a side structure (victim
-     * cache, frequent-value cache, prefetch buffer). Returning true
-     * claims the miss; the line is installed in the cache and the
-     * access completes after @p extra_latency additional cycles.
-     */
-    virtual bool
-    onMissProbe(Addr line_addr, Cycle now, Cycle &extra_latency)
+    bool attached() const { return _client != nullptr; }
+
+    void
+    onAccess(const MemRequest &req, bool hit, bool first_use) const
     {
-        (void)line_addr; (void)now; (void)extra_latency;
-        return false;
+        if (_client)
+            _client->cacheAccess(_level, req, hit, first_use);
     }
 
-    /** A line leaves the cache. */
-    virtual void
-    onEvict(Addr line_addr, bool dirty, Cycle now)
+    bool
+    onMissProbe(Addr line_addr, Cycle now, Cycle &extra_latency) const
     {
-        (void)line_addr; (void)dirty; (void)now;
+        return _client && _client->cacheMissProbe(_level, line_addr,
+                                                  now, extra_latency);
     }
 
-    /** A line enters the cache. @p cause distinguishes demand fills
-     *  from prefetch fills. */
-    virtual void
-    onRefill(Addr line_addr, AccessKind cause, Cycle now)
+    void
+    onEvict(Addr line_addr, bool dirty, Cycle now) const
     {
-        (void)line_addr; (void)cause; (void)now;
+        if (_client)
+            _client->cacheEvict(_level, line_addr, dirty, now);
     }
+
+    void
+    onRefill(Addr line_addr, AccessKind cause, Cycle now) const
+    {
+        if (!_client)
+            return;
+        _client->cacheRefill(_level, line_addr, cause, now);
+        if (_wants_content)
+            refillContent(line_addr, cause, now);
+    }
+
+  private:
+    /** Cold path: materialize the refilled line's words for CDP. */
+    void refillContent(Addr line_addr, AccessKind cause,
+                       Cycle now) const;
+
+    HierarchyClient *_client = nullptr;
+    const MemoryImage *_image = nullptr;
+    std::uint64_t _line_bytes = 0;
+    CacheLevel _level = CacheLevel::L1D;
+    bool _wants_content = false;
 };
 
 /** Cache geometry, timing and realism flags. */
@@ -114,8 +151,18 @@ class Cache : public MemDevice
     Cycle access(const MemRequest &req) override;
     const char *deviceName() const override { return _p.name.c_str(); }
 
-    /** Attach/detach the mechanism observer. */
-    void setHooks(CacheHooks *hooks) { _hooks = hooks; }
+    /**
+     * Attach/detach the mechanism observer for this cache level
+     * (nullptr detaches). @p image backs the line-content callback
+     * for content-directed mechanisms; may be nullptr (zero-filled
+     * lines are reported then).
+     */
+    void
+    bindClient(HierarchyClient *client, CacheLevel level,
+               const MemoryImage *image)
+    {
+        _hooks.bind(client, level, image, _p.line);
+    }
 
     /** Tag probe without state change. */
     bool probe(Addr addr) const;
@@ -160,7 +207,7 @@ class Cache : public MemDevice
     CacheParams _p;
     MemDevice *_parent;
     Bus *_parent_bus;
-    CacheHooks *_hooks = nullptr;
+    CacheHookShim _hooks;
 
     std::uint64_t _sets;
     std::vector<Line> _lines; // sets x assoc
@@ -169,6 +216,9 @@ class Cache : public MemDevice
 
     ResourceSchedule _ports; ///< one acquisition per port per cycle
     Cycle _next_accept = 0;
+
+    /** Reused writeback request: the miss path constructs nothing. */
+    MemRequest _wb;
 
     std::uint64_t setIndex(Addr addr) const
     {
@@ -196,6 +246,9 @@ class Cache : public MemDevice
      *  an in-flight refill). */
     unsigned install(Addr line_addr, bool dirty, bool prefetched,
                      Cycle now, Cycle ready);
+
+    /** Post a dirty victim to the parent (cold half of install). */
+    void writebackVictim(Addr tag, Cycle now);
 
     Cycle handleWriteback(const MemRequest &req);
     Cycle fetchFromParent(Addr line_addr, AccessKind kind, Addr pc,

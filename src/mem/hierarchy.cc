@@ -5,50 +5,6 @@
 namespace microlib
 {
 
-/** Adapter translating Cache callbacks into client callbacks. */
-struct Hierarchy::LevelHooks : public CacheHooks
-{
-    Hierarchy *owner;
-    CacheLevel level;
-
-    LevelHooks(Hierarchy *h, CacheLevel lvl) : owner(h), level(lvl) {}
-
-    void
-    onAccess(const MemRequest &req, bool hit, bool first_use) override
-    {
-        if (owner->_client)
-            owner->_client->cacheAccess(level, req, hit, first_use);
-    }
-
-    bool
-    onMissProbe(Addr line, Cycle now, Cycle &extra_latency) override
-    {
-        if (owner->_client)
-            return owner->_client->cacheMissProbe(level, line, now,
-                                                  extra_latency);
-        return false;
-    }
-
-    void
-    onEvict(Addr line, bool dirty, Cycle now) override
-    {
-        if (owner->_client)
-            owner->_client->cacheEvict(level, line, dirty, now);
-    }
-
-    void
-    onRefill(Addr line, AccessKind cause, Cycle now) override
-    {
-        if (!owner->_client)
-            return;
-        owner->_client->cacheRefill(level, line, cause, now);
-        if (owner->_client->wantsLineContent(level)) {
-            const auto words = owner->readLine(line, level);
-            owner->_client->lineContent(level, line, words, cause, now);
-        }
-    }
-};
-
 Hierarchy::Hierarchy(const HierarchyParams &p,
                      std::shared_ptr<const MemoryImage> image)
     : _p(p), _image(std::move(image))
@@ -67,13 +23,20 @@ Hierarchy::Hierarchy(const HierarchyParams &p,
         _l1i = std::make_unique<Cache>(p.l1i, _l2.get(),
                                        _l1l2_bus.get());
 
-    _l1_hooks = std::make_unique<LevelHooks>(this, CacheLevel::L1D);
-    _l2_hooks = std::make_unique<LevelHooks>(this, CacheLevel::L2);
-    _l1d->setHooks(_l1_hooks.get());
-    _l2->setHooks(_l2_hooks.get());
+    setClient(nullptr); // initialize both caches' hook shims
 }
 
 Hierarchy::~Hierarchy() = default;
+
+void
+Hierarchy::setClient(HierarchyClient *client)
+{
+    _client = client;
+    // The caches dispatch to the client through their own sealed
+    // shims — no per-event indirection through the Hierarchy.
+    _l1d->bindClient(client, CacheLevel::L1D, _image.get());
+    _l2->bindClient(client, CacheLevel::L2, _image.get());
+}
 
 MemDevice *
 Hierarchy::memoryDevice()

@@ -19,6 +19,7 @@
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/const_memory.hh"
+#include "mem/hierarchy_client.hh"
 #include "mem/sdram.hh"
 #include "trace/memory_image.hh"
 
@@ -30,60 +31,6 @@ enum class MemoryModelKind
 {
     ConstantLatency, ///< SimpleScalar-like flat latency
     Sdram,           ///< detailed SDRAM (Table 1 timings)
-};
-
-/** Cache level tag used in client callbacks. */
-enum class CacheLevel : std::uint8_t { L1D, L2 };
-
-/** Mechanism-facing event interface (implemented in src/core). */
-class HierarchyClient
-{
-  public:
-    virtual ~HierarchyClient() = default;
-
-    virtual void
-    cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
-                bool first_use)
-    {
-        (void)lvl; (void)req; (void)hit; (void)first_use;
-    }
-
-    /** Side-structure probe on a demand miss (victim caches,
-     *  prefetch buffers). Return true to supply the line after
-     *  @p extra_latency cycles. */
-    virtual bool
-    cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
-                   Cycle &extra_latency)
-    {
-        (void)lvl; (void)line; (void)now; (void)extra_latency;
-        return false;
-    }
-
-    virtual void
-    cacheEvict(CacheLevel lvl, Addr line, bool dirty, Cycle now)
-    {
-        (void)lvl; (void)line; (void)dirty; (void)now;
-    }
-
-    virtual void
-    cacheRefill(CacheLevel lvl, Addr line, AccessKind cause, Cycle now)
-    {
-        (void)lvl; (void)line; (void)cause; (void)now;
-    }
-
-    /** Opt in to receive refilled line contents (CDP scans them). */
-    virtual bool wantsLineContent(CacheLevel lvl) const
-    {
-        (void)lvl;
-        return false;
-    }
-
-    virtual void
-    lineContent(CacheLevel lvl, Addr line, const std::vector<Word> &words,
-                AccessKind cause, Cycle now)
-    {
-        (void)lvl; (void)line; (void)words; (void)cause; (void)now;
-    }
 };
 
 /** Full hierarchy configuration. */
@@ -111,8 +58,9 @@ class Hierarchy
     Hierarchy(const Hierarchy &) = delete;
     Hierarchy &operator=(const Hierarchy &) = delete;
 
-    /** Attach the mechanism; pass nullptr to detach. */
-    void setClient(HierarchyClient *client) { _client = client; }
+    /** Attach the mechanism; pass nullptr to detach. Rebinds the
+     *  L1D and L2 hook shims (one devirtualized dispatch each). */
+    void setClient(HierarchyClient *client);
 
     /** Core-side operations; return data-ready / accept cycle. */
     Cycle load(Addr addr, Addr pc, Cycle when);
@@ -154,8 +102,6 @@ class Hierarchy
     void registerStats(StatSet &stats) const;
 
   private:
-    struct LevelHooks;
-
     HierarchyParams _p;
     std::shared_ptr<const MemoryImage> _image;
     HierarchyClient *_client = nullptr;
@@ -167,9 +113,6 @@ class Hierarchy
     std::unique_ptr<Cache> _l2;
     std::unique_ptr<Cache> _l1d;
     std::unique_ptr<Cache> _l1i;
-
-    std::unique_ptr<LevelHooks> _l1_hooks;
-    std::unique_ptr<LevelHooks> _l2_hooks;
 
     MemDevice *memoryDevice();
 };

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mechanism-facing cache event interface.
+ *
+ * HierarchyClient is what the fourteen data-cache mechanisms (and any
+ * user-defined one) implement to observe the memory system: demand
+ * accesses with hit/miss outcome, miss-probes into side structures,
+ * evictions and refills. It lives in its own header, below both the
+ * cache model and the Hierarchy, so the cache's inlined hook shim
+ * (CacheHookShim in mem/cache.hh) can dispatch straight into the
+ * client without pulling the whole hierarchy in.
+ */
+
+#ifndef MICROLIB_MEM_HIERARCHY_CLIENT_HH
+#define MICROLIB_MEM_HIERARCHY_CLIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/types.hh"
+
+namespace microlib
+{
+
+/** Cache level tag used in client callbacks. */
+enum class CacheLevel : std::uint8_t { L1D, L2 };
+
+/** Mechanism-facing event interface (implemented in src/core). */
+class HierarchyClient
+{
+  public:
+    virtual ~HierarchyClient() = default;
+
+    virtual void
+    cacheAccess(CacheLevel lvl, const MemRequest &req, bool hit,
+                bool first_use)
+    {
+        (void)lvl; (void)req; (void)hit; (void)first_use;
+    }
+
+    /** Side-structure probe on a demand miss (victim caches,
+     *  prefetch buffers). Return true to supply the line after
+     *  @p extra_latency cycles. */
+    virtual bool
+    cacheMissProbe(CacheLevel lvl, Addr line, Cycle now,
+                   Cycle &extra_latency)
+    {
+        (void)lvl; (void)line; (void)now; (void)extra_latency;
+        return false;
+    }
+
+    virtual void
+    cacheEvict(CacheLevel lvl, Addr line, bool dirty, Cycle now)
+    {
+        (void)lvl; (void)line; (void)dirty; (void)now;
+    }
+
+    virtual void
+    cacheRefill(CacheLevel lvl, Addr line, AccessKind cause, Cycle now)
+    {
+        (void)lvl; (void)line; (void)cause; (void)now;
+    }
+
+    /** Opt in to receive refilled line contents (CDP scans them).
+     *  Sampled once when the client is bound: the answer must be a
+     *  constant property of the mechanism, not run-time state. */
+    virtual bool wantsLineContent(CacheLevel lvl) const
+    {
+        (void)lvl;
+        return false;
+    }
+
+    virtual void
+    lineContent(CacheLevel lvl, Addr line, const std::vector<Word> &words,
+                AccessKind cause, Cycle now)
+    {
+        (void)lvl; (void)line; (void)words; (void)cause; (void)now;
+    }
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_MEM_HIERARCHY_CLIENT_HH

@@ -1,5 +1,7 @@
 #include "mem/replacement.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace microlib
@@ -10,6 +12,8 @@ LruState::LruState(std::size_t sets, std::size_t ways)
 {
     if (sets == 0 || ways == 0)
         fatal("LruState needs non-zero geometry");
+    if (ways > 64)
+        fatal("LruState supports at most 64 ways (occupancy masks)");
 }
 
 void
@@ -19,13 +23,13 @@ LruState::touch(std::size_t set, std::size_t way)
 }
 
 std::size_t
-LruState::victim(std::size_t set,
-                 const std::vector<bool> &valid_ways) const
+LruState::victim(std::size_t set, std::uint64_t valid_mask) const
 {
-    // Invalid way first.
-    for (std::size_t w = 0; w < _ways; ++w)
-        if (!valid_ways[w])
-            return w;
+    // Invalid way first: the lowest zero bit, found in one
+    // instruction instead of a scan.
+    const auto w = static_cast<std::size_t>(std::countr_one(valid_mask));
+    if (w < _ways)
+        return w;
     return lruWay(set);
 }
 

@@ -21,7 +21,9 @@ namespace microlib
 /**
  * LRU state for an array of sets. Each way holds a last-use stamp;
  * the victim is the smallest stamp among valid ways, preferring
- * invalid ways first.
+ * invalid ways first. At most 64 ways per set: occupancy travels as
+ * a bit mask so the cache's miss path never heap-allocates (the old
+ * std::vector<bool> parameter cost one allocation per install).
  */
 class LruState
 {
@@ -31,9 +33,10 @@ class LruState
     /** Mark (set, way) used at logical time (an internal sequence). */
     void touch(std::size_t set, std::size_t way);
 
-    /** Way to evict in @p set given validity bits from the caller. */
+    /** Way to evict in @p set. Bit w of @p valid_mask is set iff way
+     *  w holds a valid line; bits at and above ways() must be zero. */
     std::size_t victim(std::size_t set,
-                       const std::vector<bool> &valid_ways) const;
+                       std::uint64_t valid_mask) const;
 
     /** Least-recently-used way assuming all ways valid. */
     std::size_t lruWay(std::size_t set) const;

@@ -34,6 +34,9 @@ Sdram::Sdram(const SdramParams &p, Bus *fsb) : _p(p), _fsb(fsb),
         fatal("SDRAM '", p.name, "': scheduler needs at least one row");
     for (auto &b : _banks)
         b.slots.resize(p.scheduler_rows);
+    // The controller queue never exceeds queue_entries: reserving it
+    // here keeps the per-access admit/retire path allocation-free.
+    _queue.reserve(p.queue_entries);
 }
 
 Sdram::Decoded

@@ -38,6 +38,14 @@ Distribution::reset()
     _sum = 0.0;
 }
 
+StatSet::StatSet()
+{
+    // A full hierarchy plus mechanism registers ~40 stats; reserving
+    // past that keeps registration rehash-free.
+    _counters.reserve(64);
+    _averages.reserve(16);
+}
+
 void
 StatSet::registerCounter(const std::string &name, const Counter *c)
 {
@@ -78,6 +86,15 @@ StatSet::names() const
         out.push_back(kv.first);
     std::sort(out.begin(), out.end());
     return out;
+}
+
+void
+StatSet::snapshot(std::map<std::string, double> &out) const
+{
+    for (const auto &kv : _counters)
+        out[kv.first] = static_cast<double>(kv.second->value());
+    for (const auto &kv : _averages)
+        out[kv.first] = kv.second->mean();
 }
 
 void

@@ -15,6 +15,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace microlib
@@ -80,11 +81,15 @@ class Distribution
 /**
  * Name → value registry. Components register their counters once;
  * values are read through the registered pointers at query time, so no
- * per-event registry cost is paid.
+ * per-event registry cost is paid. Hash-indexed with capacity
+ * reserved up front: a baseline hierarchy registers a few dozen
+ * stats, and lookups sit on the per-run report path.
  */
 class StatSet
 {
   public:
+    StatSet();
+
     void registerCounter(const std::string &name, const Counter *c);
     void registerAverage(const std::string &name, const Average *a);
 
@@ -97,12 +102,20 @@ class StatSet
     /** All registered names, sorted. */
     std::vector<std::string> names() const;
 
+    /**
+     * Copy every registered stat's current value into @p out in one
+     * registry walk. The report path uses this instead of names()
+     * followed by per-name get() calls, which rebuilt and sorted the
+     * name list and then paid one lookup per stat.
+     */
+    void snapshot(std::map<std::string, double> &out) const;
+
     /** Dump "name = value" lines. */
     void dump(std::ostream &os) const;
 
   private:
-    std::map<std::string, const Counter *> _counters;
-    std::map<std::string, const Average *> _averages;
+    std::unordered_map<std::string, const Counter *> _counters;
+    std::unordered_map<std::string, const Average *> _averages;
 };
 
 } // namespace microlib

@@ -1,0 +1,41 @@
+#include "trace/trace_view.hh"
+
+namespace microlib
+{
+
+void
+TraceSoA::build(const Trace &records)
+{
+    const std::size_t n = records.size();
+    _pc.resize(n);
+    _addr.resize(n);
+    _value.resize(n);
+    _op.resize(n);
+    _dep1.resize(n);
+    _dep2.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &r = records[i];
+        _pc[i] = r.pc;
+        _addr[i] = r.addr;
+        _value[i] = r.value;
+        _op[i] = r.op;
+        _dep1[i] = r.dep1;
+        _dep2[i] = r.dep2;
+    }
+}
+
+TraceView
+TraceSoA::view() const
+{
+    TraceView v;
+    v.pc = _pc.data();
+    v.addr = _addr.data();
+    v.value = _value.data();
+    v.op = _op.data();
+    v.dep1 = _dep1.data();
+    v.dep2 = _dep2.data();
+    v.n = _op.size();
+    return v;
+}
+
+} // namespace microlib

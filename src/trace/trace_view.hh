@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structure-of-arrays trace windows.
+ *
+ * The core's per-instruction loop reads four to six fields of every
+ * dynamic instruction; walking the AoS `std::vector<TraceRecord>`
+ * drags the fields most models never touch (basic-block ids, data
+ * values) through the cache with them. TraceSoA transposes a
+ * materialized window once — at trace-cache fill time — into dense
+ * parallel arrays, and TraceView is the non-owning span bundle the
+ * hot loop streams over: sequential, prefetch-friendly, one array
+ * per consumed field.
+ */
+
+#ifndef MICROLIB_TRACE_TRACE_VIEW_HH
+#define MICROLIB_TRACE_TRACE_VIEW_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace microlib
+{
+
+/**
+ * Non-owning parallel-span view over a trace window. All pointers
+ * address arrays of size() elements owned by a TraceSoA (or any
+ * other storage outliving the view).
+ */
+struct TraceView
+{
+    const std::uint32_t *pc = nullptr;
+    const std::uint32_t *addr = nullptr;
+    /** Data values: unread by the core loop (it never touches the
+     *  array, so it costs no cache traffic), carried for
+     *  value-sensitive consumers (FVC/CDP-style scans). */
+    const Word *value = nullptr;
+    const OpClass *op = nullptr;
+    const std::uint8_t *dep1 = nullptr;
+    const std::uint8_t *dep2 = nullptr;
+    std::size_t n = 0;
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+};
+
+/** Owning SoA storage for one trace window, built once per cached
+ *  trace and shared by every run consuming it. */
+class TraceSoA
+{
+  public:
+    TraceSoA() = default;
+    explicit TraceSoA(const Trace &records) { build(records); }
+
+    /** (Re)build the parallel arrays from @p records. */
+    void build(const Trace &records);
+
+    /** View over the current arrays; invalidated by build(). */
+    TraceView view() const;
+
+    std::size_t size() const { return _op.size(); }
+    bool empty() const { return _op.empty(); }
+
+  private:
+    std::vector<std::uint32_t> _pc;
+    std::vector<std::uint32_t> _addr;
+    std::vector<Word> _value;
+    std::vector<OpClass> _op;
+    std::vector<std::uint8_t> _dep1;
+    std::vector<std::uint8_t> _dep2;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_TRACE_VIEW_HH

@@ -15,6 +15,9 @@ materialize(const SpecProgram &prog, const TraceWindow &window)
     out.records.resize(window.length);
     for (auto &rec : out.records)
         gen.next(rec);
+    // Transpose once here so every consumer of the cached trace
+    // shares one SoA build instead of paying per run.
+    out.soa.build(out.records);
 
     // Snapshot the image by moving it out of the generator's reach:
     // materialize() owns the generator, so copying is unnecessary —

@@ -15,6 +15,7 @@
 
 #include "trace/generator.hh"
 #include "trace/record.hh"
+#include "trace/trace_view.hh"
 
 namespace microlib
 {
@@ -27,13 +28,20 @@ struct TraceWindow
 };
 
 /** A materialized window together with the memory image that backs
- *  value-sensitive mechanisms (CDP, FVC). */
+ *  value-sensitive mechanisms (CDP, FVC). Carries both the AoS
+ *  records and their SoA transposition: the SoA is built exactly
+ *  once, when the trace is materialized into the cache, and every
+ *  run over the window streams the same arrays. */
 struct MaterializedTrace
 {
     Trace records;
+    TraceSoA soa;
     std::shared_ptr<const MemoryImage> image;
     std::string benchmark;
     TraceWindow window;
+
+    /** Span bundle for the simulation hot loop. */
+    TraceView view() const { return soa.view(); }
 };
 
 /**

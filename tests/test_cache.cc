@@ -210,27 +210,32 @@ TEST(Cache, RealismFeatureComposition)
 namespace
 {
 
-/** Hooks recorder for observing cache events. */
-struct RecordingHooks : public CacheHooks
+/** Client recorder for observing cache events through the sealed
+ *  hook shim (the same dispatch path the mechanisms use). */
+struct RecordingHooks final : public HierarchyClient
 {
     unsigned accesses = 0, misses = 0, evicts = 0, refills = 0;
     bool supply = false; ///< claim misses from the side structure
 
     void
-    onAccess(const MemRequest &, bool hit, bool) override
+    cacheAccess(CacheLevel, const MemRequest &, bool hit, bool) override
     {
         ++accesses;
         if (!hit)
             ++misses;
     }
     bool
-    onMissProbe(Addr, Cycle, Cycle &extra) override
+    cacheMissProbe(CacheLevel, Addr, Cycle, Cycle &extra) override
     {
         extra = 2;
         return supply;
     }
-    void onEvict(Addr, bool, Cycle) override { ++evicts; }
-    void onRefill(Addr, AccessKind, Cycle) override { ++refills; }
+    void cacheEvict(CacheLevel, Addr, bool, Cycle) override { ++evicts; }
+    void
+    cacheRefill(CacheLevel, Addr, AccessKind, Cycle) override
+    {
+        ++refills;
+    }
 };
 
 } // namespace
@@ -240,7 +245,7 @@ TEST(Cache, HooksFireOnDemandPath)
     ConstMemory mem(10);
     Cache c(smallCache(), &mem, nullptr);
     RecordingHooks hooks;
-    c.setHooks(&hooks);
+    c.bindClient(&hooks, CacheLevel::L1D, nullptr);
     c.access(read(0x100, 0));  // miss + refill
     c.access(read(0x100, 50)); // hit
     EXPECT_EQ(hooks.accesses, 2u);
@@ -254,7 +259,7 @@ TEST(Cache, SideStructureSuppliesMiss)
     Cache c(smallCache(), &mem, nullptr);
     RecordingHooks hooks;
     hooks.supply = true;
-    c.setHooks(&hooks);
+    c.bindClient(&hooks, CacheLevel::L1D, nullptr);
     const Cycle done = c.access(read(0x100, 0));
     // Served by the side structure: latency + extra, and no memory
     // read happened.

@@ -158,8 +158,10 @@ TEST(Core, EmptyTrace)
     const BaselineConfig c = cfg();
     Hierarchy h(c.hier, nullptr);
     OoOCore core(c.core);
-    const CoreResult r = core.run({}, h);
+    const CoreResult r = core.run(Trace{}, h);
     EXPECT_EQ(r.instructions, 0u);
+    const CoreResult rv = core.run(TraceView{}, h);
+    EXPECT_EQ(rv.instructions, 0u);
 }
 
 class CoreWidthTest : public ::testing::TestWithParam<unsigned>

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Hot-path determinism tests.
+ *
+ * The block-based SoA loop (OoOCore::run over a TraceView) must be a
+ * pure re-expression of the seed's record-at-a-time AoS loop (kept as
+ * OoOCore::runReference): same CoreResult bit for bit, same cache and
+ * MSHR counters, for every mechanism — including ones that exercise
+ * the devirtualized hook shim's side-fill, eviction and refill paths.
+ * A second suite pins the full stat snapshot across MICROLIB_THREADS
+ * 1/4/8 so the scheduler cannot leak ordering into the new loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hh"
+#include "core/scheduler.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/hierarchy.hh"
+#include "sim/stats.hh"
+#include "trace/window.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+const std::vector<std::string> kBenchmarks = {"swim", "mcf", "crafty"};
+const std::vector<std::string> kMechanisms = {"Base", "VC", "GHB"};
+
+RunConfig
+quickConfig()
+{
+    RunConfig cfg;
+    cfg.selection = TraceSelection::Arbitrary;
+    cfg.scale.arbitrary_skip = 25'000;
+    cfg.scale.arbitrary_length = 80'000;
+    return cfg;
+}
+
+/** One full run (hierarchy + mechanism + stats), through either the
+ *  SoA hot loop or the AoS reference loop. Mirrors runOne(). */
+struct FullRun
+{
+    CoreResult core;
+    std::map<std::string, double> stats;
+};
+
+FullRun
+simulate(const MaterializedTrace &trace, const std::string &mechanism,
+         const RunConfig &cfg, bool reference)
+{
+    FullRun out;
+    Hierarchy hier(cfg.system.hier, trace.image);
+    std::unique_ptr<CacheMechanism> mech =
+        makeMechanism(mechanism, cfg.mech);
+
+    StatSet stats;
+    hier.registerStats(stats);
+    if (mech) {
+        mech->bind(hier);
+        mech->registerStats(stats);
+        hier.setClient(mech.get());
+    }
+
+    OoOCore core(cfg.system.core);
+    out.core = reference ? core.runReference(trace.records, hier)
+                         : core.run(trace.view(), hier);
+    stats.snapshot(out.stats);
+    return out;
+}
+
+void
+expectBitIdentical(const FullRun &a, const FullRun &b,
+                   const std::string &label)
+{
+    EXPECT_EQ(a.core.instructions, b.core.instructions) << label;
+    EXPECT_EQ(a.core.cycles, b.core.cycles) << label;
+    EXPECT_EQ(a.core.ipc, b.core.ipc) << label; // exact, not near
+    EXPECT_EQ(a.core.loads, b.core.loads) << label;
+    EXPECT_EQ(a.core.stores, b.core.stores) << label;
+    EXPECT_EQ(a.core.branches, b.core.branches) << label;
+    EXPECT_EQ(a.core.mispredicts, b.core.mispredicts) << label;
+    // The full snapshot covers every cache and MSHR counter
+    // (demand_misses, writebacks, side_fills, mshr_full_stalls, ...).
+    ASSERT_EQ(a.stats.size(), b.stats.size()) << label;
+    for (const auto &kv : a.stats) {
+        const auto it = b.stats.find(kv.first);
+        ASSERT_NE(it, b.stats.end()) << label << ": " << kv.first;
+        EXPECT_EQ(kv.second, it->second) << label << ": " << kv.first;
+    }
+}
+
+} // namespace
+
+TEST(HotPath, SoaLoopMatchesSeedLoopAcrossMatrix)
+{
+    const RunConfig cfg = quickConfig();
+    for (const auto &benchmark : kBenchmarks) {
+        const MaterializedTrace trace = materializeFor(benchmark, cfg);
+        ASSERT_EQ(trace.soa.size(), trace.records.size());
+        for (const auto &mechanism : kMechanisms) {
+            const FullRun soa = simulate(trace, mechanism, cfg, false);
+            const FullRun ref = simulate(trace, mechanism, cfg, true);
+            expectBitIdentical(soa, ref, benchmark + "/" + mechanism);
+            // A real simulation happened (guards against both loops
+            // degenerating together).
+            EXPECT_GT(soa.core.cycles, 0u);
+            EXPECT_GT(soa.stats.at("l1d.demand_accesses"), 0.0);
+        }
+    }
+}
+
+TEST(HotPath, RunOverloadsShareOneLoop)
+{
+    // The Trace overload transposes and delegates: both entry points
+    // must agree exactly.
+    const RunConfig cfg = quickConfig();
+    const MaterializedTrace trace = materializeFor("gzip", cfg);
+    const BaselineConfig sys = makeBaseline();
+
+    Hierarchy h1(sys.hier, trace.image);
+    OoOCore c1(sys.core);
+    const CoreResult via_records = c1.run(trace.records, h1);
+
+    Hierarchy h2(sys.hier, trace.image);
+    OoOCore c2(sys.core);
+    const CoreResult via_view = c2.run(trace.view(), h2);
+
+    EXPECT_EQ(via_records.cycles, via_view.cycles);
+    EXPECT_EQ(via_records.ipc, via_view.ipc);
+    EXPECT_EQ(via_records.mispredicts, via_view.mispredicts);
+}
+
+TEST(HotPath, BitIdenticalAcrossWorkerCounts)
+{
+    const RunConfig cfg = quickConfig();
+    std::vector<MatrixResult> results;
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        setenv("MICROLIB_THREADS", std::to_string(threads).c_str(), 1);
+        EngineOptions opts;
+        opts.threads = threads;
+        ExperimentEngine engine(opts);
+        results.push_back(engine.run(kMechanisms, kBenchmarks, cfg));
+    }
+    unsetenv("MICROLIB_THREADS");
+
+    const MatrixResult &base = results.front();
+    for (std::size_t r = 1; r < results.size(); ++r) {
+        const MatrixResult &other = results[r];
+        ASSERT_EQ(base.mechanisms, other.mechanisms);
+        ASSERT_EQ(base.benchmarks, other.benchmarks);
+        for (std::size_t m = 0; m < base.mechanisms.size(); ++m) {
+            for (std::size_t b = 0; b < base.benchmarks.size(); ++b) {
+                const RunOutput &x = base.outputs[m][b];
+                const RunOutput &y = other.outputs[m][b];
+                const std::string label = base.mechanisms[m] + "/" +
+                                          base.benchmarks[b];
+                EXPECT_EQ(x.core.cycles, y.core.cycles) << label;
+                EXPECT_EQ(x.core.ipc, y.core.ipc) << label;
+                EXPECT_EQ(x.stats, y.stats) << label;
+            }
+        }
+    }
+}

@@ -11,8 +11,8 @@ TEST(Lru, PrefersInvalidWays)
     LruState lru(4, 4);
     lru.touch(0, 0);
     lru.touch(0, 1);
-    std::vector<bool> valid = {true, true, false, true};
-    EXPECT_EQ(lru.victim(0, valid), 2u);
+    // Ways 0, 1 and 3 valid; way 2 free.
+    EXPECT_EQ(lru.victim(0, 0b1011u), 2u);
 }
 
 TEST(Lru, EvictsLeastRecentlyUsed)
@@ -23,8 +23,7 @@ TEST(Lru, EvictsLeastRecentlyUsed)
     lru.touch(0, 2);
     lru.touch(0, 3);
     lru.touch(0, 0); // refresh way 0
-    std::vector<bool> valid(4, true);
-    EXPECT_EQ(lru.victim(0, valid), 1u);
+    EXPECT_EQ(lru.victim(0, 0b1111u), 1u);
 }
 
 TEST(Lru, SetsIndependent)
@@ -33,16 +32,34 @@ TEST(Lru, SetsIndependent)
     lru.touch(0, 0);
     lru.touch(0, 1);
     lru.touch(1, 1);
-    std::vector<bool> valid(2, true);
-    EXPECT_EQ(lru.victim(0, valid), 0u);
-    EXPECT_EQ(lru.victim(1, valid), 0u); // way 0 in set 1 untouched
+    EXPECT_EQ(lru.victim(0, 0b11u), 0u);
+    EXPECT_EQ(lru.victim(1, 0b11u), 0u); // way 0 in set 1 untouched
+}
+
+TEST(Lru, EmptySetVictimizesWayZero)
+{
+    LruState lru(1, 8);
+    EXPECT_EQ(lru.victim(0, 0u), 0u);
+}
+
+TEST(Lru, FullSixtyFourWayMask)
+{
+    // The widest supported geometry: a saturated mask must fall back
+    // to the LRU scan, not index past the mask.
+    LruState lru(1, 64);
+    for (unsigned w = 0; w < 64; ++w)
+        lru.touch(0, w);
+    lru.touch(0, 0);
+    EXPECT_EQ(lru.victim(0, ~std::uint64_t{0}), 1u);
+    // A single hole is still found first.
+    EXPECT_EQ(lru.victim(0, ~std::uint64_t{0} ^ (std::uint64_t{1} << 63)),
+              63u);
 }
 
 TEST(Lru, SequenceProperty)
 {
     // Touch ways in order; victim must always be the oldest touch.
     LruState lru(1, 8);
-    std::vector<bool> valid(8, true);
     for (unsigned w = 0; w < 8; ++w)
         lru.touch(0, w);
     for (unsigned round = 0; round < 20; ++round) {

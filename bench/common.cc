@@ -1,10 +1,7 @@
 #include "common.hh"
 
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "sim/logging.hh"
 #include "trace/spec_suite.hh"
@@ -29,12 +26,22 @@ mechanismSet()
     return allMechanismNames();
 }
 
+ResultStore &
+resultStore()
+{
+    static ResultStore the_store(cacheDir() + "/results.microlib");
+    return the_store;
+}
+
 ExperimentEngine &
 engine()
 {
     static ExperimentEngine the_engine{[] {
         EngineOptions opts;
         opts.verbose = std::getenv("MICROLIB_VERBOSE") != nullptr;
+        // Every finished run persists; re-running any harness over
+        // overlapping (benchmark, mechanism, config) cells resumes.
+        opts.store = &resultStore();
         return opts;
     }()};
     return the_engine;
@@ -48,123 +55,24 @@ cacheDir()
     return "bench_cache";
 }
 
-namespace
-{
-
-std::string
-cachePath(const std::string &tag)
-{
-    return cacheDir() + "/" + tag + ".tsv";
-}
-
-/** Cache format version; bump to invalidate stale results. */
-constexpr int cache_version = 3;
-
-bool
-loadMatrix(const std::string &tag,
-           const std::vector<std::string> &mechanisms,
-           const std::vector<std::string> &benchmarks,
-           MatrixResult &out)
-{
-    std::ifstream in(cachePath(tag));
-    if (!in)
-        return false;
-    std::string header;
-    std::getline(in, header);
-    std::ostringstream expect;
-    expect << "microlib-cache v" << cache_version << " mechs "
-           << mechanisms.size() << " benchs " << benchmarks.size();
-    if (header != expect.str())
-        return false;
-
-    out.mechanisms = mechanisms;
-    out.benchmarks = benchmarks;
-    out.buildIndices();
-    out.ipc.assign(mechanisms.size(),
-                   std::vector<double>(benchmarks.size(), 0.0));
-    out.outputs.assign(mechanisms.size(),
-                       std::vector<RunOutput>(benchmarks.size()));
-
-    std::string line;
-    std::size_t rows = 0;
-    while (std::getline(in, line)) {
-        std::istringstream is(line);
-        std::string mech, bench;
-        double ipc;
-        if (!(is >> mech >> bench >> ipc))
-            return false;
-        auto find = [](const std::vector<std::string> &v,
-                       const std::string &s) -> int {
-            for (std::size_t i = 0; i < v.size(); ++i)
-                if (v[i] == s)
-                    return static_cast<int>(i);
-            return -1;
-        };
-        const int mi = find(mechanisms, mech);
-        const int bi = find(benchmarks, bench);
-        if (mi < 0 || bi < 0)
-            return false;
-        const auto m = static_cast<std::size_t>(mi);
-        const auto b = static_cast<std::size_t>(bi);
-        out.ipc[m][b] = ipc;
-        RunOutput &run = out.outputs[m][b];
-        run.mechanism = mech;
-        run.benchmark = bench;
-        run.core.ipc = ipc;
-        std::string kv;
-        while (is >> kv) {
-            const auto eq = kv.find('=');
-            if (eq == std::string::npos)
-                continue;
-            run.stats[kv.substr(0, eq)] =
-                std::strtod(kv.c_str() + eq + 1, nullptr);
-        }
-        ++rows;
-    }
-    return rows == mechanisms.size() * benchmarks.size();
-}
-
-void
-storeMatrix(const std::string &tag, const MatrixResult &res)
-{
-    std::filesystem::create_directories(cacheDir());
-    std::ofstream out(cachePath(tag));
-    out << "microlib-cache v" << cache_version << " mechs "
-        << res.mechanisms.size() << " benchs " << res.benchmarks.size()
-        << "\n";
-    out.precision(10);
-    for (std::size_t m = 0; m < res.mechanisms.size(); ++m) {
-        for (std::size_t b = 0; b < res.benchmarks.size(); ++b) {
-            const RunOutput &run = res.outputs[m][b];
-            out << res.mechanisms[m] << " " << res.benchmarks[b] << " "
-                << res.ipc[m][b];
-            for (const auto &kv : run.stats)
-                out << " " << kv.first << "=" << kv.second;
-            out << "\n";
-        }
-    }
-}
-
-} // namespace
-
 MatrixResult
 loadOrRun(ExperimentEngine &eng, const std::string &tag,
           const std::vector<std::string> &mechanisms,
           const std::vector<std::string> &benchmarks,
           const RunConfig &cfg)
 {
-    MatrixResult res;
-    if (loadMatrix(tag, mechanisms, benchmarks, res)) {
-        std::cout << "[cache] loaded matrix '" << tag << "' from "
-                  << cachePath(tag) << "\n";
-        return res;
-    }
     std::cout << "[run] sweeping matrix '" << tag << "' ("
               << mechanisms.size() << " mechanisms x "
               << benchmarks.size() << " benchmarks, "
               << eng.threads() << " workers)...\n";
-    res = eng.run(mechanisms, benchmarks, cfg);
-    storeMatrix(tag, res);
+    MatrixResult res = eng.run(mechanisms, benchmarks, cfg);
+    const RunCounters counts = eng.lastRun();
+    const ResultStore *store = eng.resultStore();
+    std::cout << "[store] '" << tag << "': " << counts.resumed
+              << " resumed, " << counts.executed << " executed";
+    if (store && !store->path().empty())
+        std::cout << " (" << store->path() << ")";
+    std::cout << "\n";
     return res;
 }
 

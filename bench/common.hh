@@ -3,10 +3,15 @@
  * Shared harness code for the per-figure/table bench binaries.
  *
  * Each binary regenerates one table or figure of the paper. Full
- * 13-mechanism x 26-benchmark sweeps are expensive, so finished
- * matrices are cached on disk (build/bench_cache by default) keyed by
- * an experiment tag; binaries that need the same matrix (Figure 4,
- * Figure 5, Tables 6/7, Figures 6/7) share one sweep.
+ * 13-mechanism x 26-benchmark sweeps are expensive, so every
+ * completed run is persisted in the shared versioned result store
+ * (bench_cache/results.microlib by default; see
+ * docs/RESULT_STORE.md). Binaries that need the same runs (Figure 4,
+ * Figure 5, Tables 6/7, Figures 6/7) share them through the store,
+ * an interrupted sweep resumes where it stopped, and a
+ * configuration change invalidates records by fingerprint — per run,
+ * not per file. The old per-tag TSV matrix cache is gone; the tag
+ * survives purely as a progress label.
  */
 
 #ifndef MICROLIB_BENCH_COMMON_HH
@@ -17,6 +22,7 @@
 
 #include "core/experiment.hh"
 #include "core/ranking.hh"
+#include "core/result_store.hh"
 #include "core/scheduler.hh"
 #include "sim/report.hh"
 
@@ -35,14 +41,18 @@ std::vector<std::string> mechanismSet();
  * its worker pool persists across matrices and its trace cache is
  * shared, so binaries sweeping several configurations (Figures 8, 9
  * and 11) materialize each benchmark window once, not once per
- * matrix.
+ * matrix. The engine writes every finished run to resultStore().
  */
 ExperimentEngine &engine();
 
+/** The harness-wide result store, at cacheDir()/results.microlib. */
+ResultStore &resultStore();
+
 /**
- * Load the matrix for @p tag from the cache, or run it on @p eng and
- * store it. The cached file stores IPCs plus the full per-run stat
- * snapshots.
+ * Run the matrix on @p eng, resuming any runs the result store
+ * already holds (all of them, when a sibling binary finished the
+ * sweep earlier). @p tag labels progress output only — record
+ * identity is the store fingerprint.
  */
 MatrixResult loadOrRun(ExperimentEngine &eng, const std::string &tag,
                        const std::vector<std::string> &mechanisms,

@@ -49,7 +49,8 @@ main()
             RunOutput mech_run = matrix.outputs[m][b];
             const RunOutput &base_run = matrix.outputs[base_m][b];
             if (mech_run.hardware.empty()) {
-                // Cached runs do not carry hardware specs: rebuild.
+                // Runs resumed from the result store do not carry
+                // hardware specs (see result_store.hh): rebuild.
                 auto mech =
                     makeMechanism(matrix.mechanisms[m], cfg.mech);
                 MaterializedTrace dummy; // hierarchy only needs params

@@ -17,6 +17,28 @@ RunOutput::stat(const std::string &name) const
     return it == stats.end() ? 0.0 : it->second;
 }
 
+std::string
+windowKey(const RunConfig &cfg)
+{
+    std::string key;
+    if (cfg.selection == TraceSelection::SimPoint) {
+        key += "sp";
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_interval);
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_k);
+        key += '\0';
+        key += std::to_string(cfg.scale.simpoint_trace);
+    } else {
+        key += "arb";
+        key += '\0';
+        key += std::to_string(cfg.scale.arbitrary_skip);
+        key += '\0';
+        key += std::to_string(cfg.scale.arbitrary_length);
+    }
+    return key;
+}
+
 MaterializedTrace
 materializeFor(const std::string &benchmark, const RunConfig &cfg)
 {

@@ -56,6 +56,18 @@ struct RunOutput
 };
 
 /**
+ * Canonical string describing the trace window @p cfg selects — the
+ * selection mode plus every scale field that shapes the window, but
+ * not the benchmark. ExperimentEngine::traceKey() appends this to
+ * the benchmark name to key the trace cache, and the result store
+ * mixes it into the config fingerprint, so "same window" means
+ * exactly one thing across both subsystems. Deliberately built from
+ * the raw scale parameters, not the resolved SimPoint choice:
+ * computing the key must never trigger BBV profiling.
+ */
+std::string windowKey(const RunConfig &cfg);
+
+/**
  * The trace window for @p benchmark under @p cfg, materialized fresh
  * on every call; SimPoint choices are cached per (benchmark, scale)
  * in the process-wide TraceCache, so the lookup is thread-safe.

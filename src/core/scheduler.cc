@@ -5,6 +5,7 @@
 #include <exception>
 #include <mutex>
 
+#include "core/result_store.hh"
 #include "sim/logging.hh"
 #include "trace/spec_suite.hh"
 
@@ -50,6 +51,13 @@ struct ExperimentEngine::State
     std::vector<std::string> keys;       ///< trace key per benchmark
     std::vector<std::size_t> remaining;  ///< unfinished runs per benchmark
 
+    /** Per-flat-index resume flags: tasks whose result the store
+     *  already held were pre-filled by run() and are never picked
+     *  up by a worker. */
+    std::vector<char> skip;
+    std::size_t resumed = 0;             ///< pre-filled task count
+    std::uint64_t config_hash = 0;       ///< fingerprintConfig(cfg)
+
     std::mutex mu;
     std::size_t next = 0;                ///< cursor into the flat order
     std::deque<DeferredRun> deferred;    ///< runs awaiting their trace
@@ -60,7 +68,8 @@ struct ExperimentEngine::State
           const std::vector<std::string> &benchs, const RunConfig &c,
           MatrixResult &r)
         : mechanisms(mechs), benchmarks(benchs), cfg(c), res(r),
-          remaining(benchs.size(), mechs.size())
+          remaining(benchs.size(), mechs.size()),
+          skip(mechs.size() * benchs.size(), 0)
     {
         keys.reserve(benchs.size());
         for (const auto &b : benchs)
@@ -91,23 +100,11 @@ std::string
 ExperimentEngine::traceKey(const std::string &benchmark,
                            const RunConfig &cfg)
 {
+    // benchmark + the shared window description (experiment.cc):
+    // the same string the result-store fingerprint mixes in.
     std::string key = benchmark;
     key += '\0';
-    if (cfg.selection == TraceSelection::SimPoint) {
-        key += "sp";
-        key += '\0';
-        key += std::to_string(cfg.scale.simpoint_interval);
-        key += '\0';
-        key += std::to_string(cfg.scale.simpoint_k);
-        key += '\0';
-        key += std::to_string(cfg.scale.simpoint_trace);
-    } else {
-        key += "arb";
-        key += '\0';
-        key += std::to_string(cfg.scale.arbitrary_skip);
-        key += '\0';
-        key += std::to_string(cfg.scale.arbitrary_length);
-    }
+    key += windowKey(cfg);
     return key;
 }
 
@@ -178,9 +175,14 @@ ExperimentEngine::drain(State &st)
                     break;
                 }
             }
-            if (!have && st.next < st.total()) {
-                task = st.decode(st.next++);
-                have = true;
+            if (!have) {
+                // Resumed slots were pre-filled by run(): skip them.
+                while (st.next < st.total() && st.skip[st.next])
+                    ++st.next;
+                if (st.next < st.total()) {
+                    task = st.decode(st.next++);
+                    have = true;
+                }
             }
             if (!have && !st.deferred.empty()) {
                 // Nothing else to steal: block on a pending trace.
@@ -222,6 +224,15 @@ ExperimentEngine::drain(State &st)
         }
 
         RunOutput out = runOne(*trace, st.mechanisms[task.m], st.cfg);
+        if (_opts.store) {
+            // Persist before publishing: a sweep killed after this
+            // point resumes past this run. put() flushes, so the
+            // record survives even an abrupt exit.
+            _opts.store->put(makeRecord(
+                makeResultKey(st.benchmarks[task.b],
+                              st.mechanisms[task.m], st.config_hash),
+                out));
+        }
         // Each task owns its (m, b) slot exclusively: no lock needed,
         // and the matrix is identical for any worker count.
         st.res.ipc[task.m][task.b] = out.core.ipc;
@@ -238,7 +249,7 @@ ExperimentEngine::drain(State &st)
         if (evict)
             _cache.evict(key);
         if (_opts.verbose)
-            inform("[", done_now, "/", st.total(), "] ",
+            inform("[", done_now + st.resumed, "/", st.total(), "] ",
                    st.benchmarks[task.b], " / ",
                    st.mechanisms[task.m], ": IPC ",
                    st.res.ipc[task.m][task.b]);
@@ -250,6 +261,7 @@ ExperimentEngine::run(const std::vector<std::string> &mechanisms,
                       const std::vector<std::string> &benchmarks,
                       const RunConfig &cfg)
 {
+    _last = RunCounters{};
     MatrixResult res;
     res.mechanisms = mechanisms;
     res.benchmarks = benchmarks;
@@ -262,6 +274,33 @@ ExperimentEngine::run(const std::vector<std::string> &mechanisms,
         return res;
 
     State st(mechanisms, benchmarks, cfg, res);
+    if (_opts.store) {
+        // Resume pass: pre-fill every slot whose fingerprint already
+        // has a record. The config is hashed once; keys differ only
+        // in (benchmark, mechanism, seed). A benchmark whose runs
+        // all resume is never materialized at all.
+        st.config_hash = fingerprintConfig(cfg);
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+                const std::optional<ResultRecord> rec =
+                    _opts.store->find(
+                        makeResultKey(benchmarks[b], mechanisms[m],
+                                      st.config_hash));
+                if (!rec)
+                    continue;
+                res.ipc[m][b] = rec->core.ipc;
+                res.outputs[m][b] = toRunOutput(*rec);
+                st.skip[b * mechanisms.size() + m] = 1;
+                --st.remaining[b];
+                ++st.resumed;
+            }
+        }
+        if (_opts.verbose && st.resumed)
+            inform("resumed ", st.resumed, "/", st.total(),
+                   " runs from ", _opts.store->path().empty()
+                                      ? "<memory store>"
+                                      : _opts.store->path());
+    }
     // Failures are captured, never thrown across the pool: every
     // worker must come home before State leaves scope.
     auto guarded = [this, &st] {
@@ -277,6 +316,8 @@ ExperimentEngine::run(const std::vector<std::string> &mechanisms,
         _pool.submit(guarded);
     guarded(); // the calling thread is worker zero
     _pool.wait();
+    _last.executed = st.done;
+    _last.resumed = st.resumed;
     if (st.error)
         std::rethrow_exception(st.error);
     return res;

@@ -23,6 +23,11 @@
  * engine outlives individual matrices; traces (and SimPoint choices)
  * are shared across run() calls, so e.g. a finite- vs infinite-MSHR
  * study materializes each benchmark once, not twice.
+ *
+ * With a ResultStore attached (EngineOptions::store), finished runs
+ * are persisted as fingerprinted records and run() pre-fills matrix
+ * slots whose record already exists, executing only the missing
+ * tasks — the resume path an interrupted sweep takes on restart.
  */
 
 #ifndef MICROLIB_CORE_SCHEDULER_HH
@@ -38,6 +43,8 @@
 
 namespace microlib
 {
+
+class ResultStore;
 
 /** Engine construction knobs. */
 struct EngineOptions
@@ -56,6 +63,24 @@ struct EngineOptions
      * runMatrix() memory profile.
      */
     bool keep_traces = true;
+
+    /**
+     * Versioned result store (core/result_store.hh); not owned, may
+     * be nullptr. When set, every finished run is persisted as a
+     * fingerprinted record, and run() skips any task whose
+     * fingerprint already has one — an interrupted or repeated sweep
+     * resumes instead of restarting. Records from a different
+     * configuration or schema never match, so stale results are
+     * ignored rather than reused.
+     */
+    ResultStore *store = nullptr;
+};
+
+/** What the last run() actually did (resume accounting). */
+struct RunCounters
+{
+    std::size_t executed = 0; ///< runs simulated by this call
+    std::size_t resumed = 0;  ///< runs restored from the store
 };
 
 /** Matrix-wide experiment scheduler over a persistent thread pool. */
@@ -93,6 +118,17 @@ class ExperimentEngine
      *  cache().clear() releases all retained traces). */
     TraceCache &cache() { return _cache; }
 
+    /** Attach/replace the result store (nullptr detaches). Takes
+     *  effect on the next run(); the store must outlive the engine
+     *  or be detached first. */
+    void setResultStore(ResultStore *store) { _opts.store = store; }
+
+    /** The attached result store, or nullptr. */
+    ResultStore *resultStore() const { return _opts.store; }
+
+    /** Executed/resumed counts of the most recent run(). */
+    RunCounters lastRun() const { return _last; }
+
     /**
      * Cache key for (@p benchmark, @p cfg): benchmark plus the
      * resolved trace window — everything a materialized trace
@@ -112,6 +148,7 @@ class ExperimentEngine
     EngineOptions _opts;
     TraceCache _cache;
     ThreadPool _pool;
+    RunCounters _last;
 };
 
 } // namespace microlib

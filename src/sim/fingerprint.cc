@@ -1,0 +1,37 @@
+#include "sim/fingerprint.hh"
+
+namespace microlib
+{
+
+std::string
+Fingerprint::hexOf(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+bool
+Fingerprint::parseHex(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace microlib

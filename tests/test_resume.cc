@@ -1,0 +1,204 @@
+/** @file Resume semantics: a sweep interrupted after N of M runs
+ *  re-executes exactly M-N tasks on restart, and the merged report is
+ *  bit-identical to an uninterrupted run across worker counts. The
+ *  interruption is simulated by pre-seeding a store with the first
+ *  half of a finished sweep's records — exactly the file a killed
+ *  process leaves behind, since records are appended and flushed as
+ *  each run completes. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/result_store.hh"
+#include "core/scheduler.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+const std::vector<std::string> mechs = {"Base", "TP", "SP", "GHB"};
+const std::vector<std::string> benchs = {"swim", "gzip", "crafty"};
+
+RunConfig
+quickConfig()
+{
+    RunConfig cfg;
+    cfg.scale.simpoint_trace = 100'000;
+    cfg.scale.simpoint_interval = 100'000;
+    return cfg;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "microlib_resume_" + name;
+}
+
+MatrixResult
+runWithStore(unsigned threads, const RunConfig &cfg, ResultStore *store,
+             RunCounters &counts)
+{
+    EngineOptions opts;
+    opts.threads = threads;
+    opts.store = store;
+    ExperimentEngine engine(opts);
+    MatrixResult res = engine.run(mechs, benchs, cfg);
+    counts = engine.lastRun();
+    return res;
+}
+
+/** Bit-identity over everything the store persists: the IPC matrix,
+ *  all CoreResult fields, and every stat snapshot value. */
+void
+expectIdentical(const MatrixResult &a, const MatrixResult &b)
+{
+    ASSERT_EQ(a.mechanisms, b.mechanisms);
+    ASSERT_EQ(a.benchmarks, b.benchmarks);
+    for (std::size_t m = 0; m < a.mechanisms.size(); ++m) {
+        for (std::size_t bi = 0; bi < a.benchmarks.size(); ++bi) {
+            const RunOutput &ra = a.outputs[m][bi];
+            const RunOutput &rb = b.outputs[m][bi];
+            EXPECT_EQ(a.ipc[m][bi], b.ipc[m][bi])
+                << a.mechanisms[m] << "/" << a.benchmarks[bi];
+            EXPECT_EQ(ra.core.instructions, rb.core.instructions);
+            EXPECT_EQ(ra.core.cycles, rb.core.cycles);
+            EXPECT_EQ(ra.core.ipc, rb.core.ipc);
+            EXPECT_EQ(ra.core.loads, rb.core.loads);
+            EXPECT_EQ(ra.core.stores, rb.core.stores);
+            EXPECT_EQ(ra.core.branches, rb.core.branches);
+            EXPECT_EQ(ra.core.mispredicts, rb.core.mispredicts);
+            EXPECT_EQ(ra.stats, rb.stats)
+                << a.mechanisms[m] << "/" << a.benchmarks[bi];
+            EXPECT_EQ(ra.benchmark, a.benchmarks[bi]);
+            EXPECT_EQ(ra.mechanism, a.mechanisms[m]);
+        }
+    }
+}
+
+/** Copy the first @p n record lines of @p src to @p dst — the store
+ *  a sweep killed after n completed runs would have left. */
+std::size_t
+truncateStoreFile(const std::string &src, const std::string &dst,
+                  std::size_t n)
+{
+    std::ifstream in(src);
+    std::ofstream out(dst, std::ios::trunc);
+    std::string line;
+    std::size_t copied = 0;
+    while (copied < n && std::getline(in, line)) {
+        out << line << '\n';
+        ++copied;
+    }
+    return copied;
+}
+
+} // namespace
+
+TEST(Resume, InterruptedSweepExecutesOnlyMissingRuns)
+{
+    const RunConfig cfg = quickConfig();
+    const std::size_t total = mechs.size() * benchs.size();
+    const std::string full_path = tmpPath("full.store");
+    const std::string half_path = tmpPath("half.store");
+    std::remove(full_path.c_str());
+
+    // Uninterrupted sweep: every task executes, every record lands.
+    RunCounters counts;
+    MatrixResult uninterrupted;
+    {
+        ResultStore store(full_path);
+        uninterrupted = runWithStore(4, cfg, &store, counts);
+        EXPECT_EQ(counts.executed, total);
+        EXPECT_EQ(counts.resumed, 0u);
+        EXPECT_EQ(store.size(), total);
+    }
+
+    // "Kill" it halfway: keep the first N of M records.
+    const std::size_t kept =
+        truncateStoreFile(full_path, half_path, total / 2);
+    ASSERT_EQ(kept, total / 2);
+
+    // Restart across worker counts: exactly M-N tasks execute, and
+    // the merged matrix is bit-identical to the uninterrupted run.
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        const std::string path =
+            tmpPath("resume_t" + std::to_string(threads) + ".store");
+        std::remove(path.c_str());
+        truncateStoreFile(full_path, path, total / 2);
+
+        ResultStore store(path);
+        ASSERT_EQ(store.size(), total / 2);
+        const MatrixResult resumed =
+            runWithStore(threads, cfg, &store, counts);
+        EXPECT_EQ(counts.resumed, total / 2) << threads << " workers";
+        EXPECT_EQ(counts.executed, total - total / 2)
+            << threads << " workers";
+        expectIdentical(uninterrupted, resumed);
+        // The store is whole again: a further restart runs nothing.
+        EXPECT_EQ(store.size(), total);
+        std::remove(path.c_str());
+    }
+
+    std::remove(full_path.c_str());
+    std::remove(half_path.c_str());
+}
+
+TEST(Resume, CompletedSweepRerunsNothing)
+{
+    const RunConfig cfg = quickConfig();
+    const std::size_t total = mechs.size() * benchs.size();
+    const std::string path = tmpPath("complete.store");
+    std::remove(path.c_str());
+
+    ResultStore store(path);
+    RunCounters counts;
+    const MatrixResult first = runWithStore(2, cfg, &store, counts);
+    EXPECT_EQ(counts.executed, total);
+
+    const MatrixResult second = runWithStore(2, cfg, &store, counts);
+    EXPECT_EQ(counts.executed, 0u);
+    EXPECT_EQ(counts.resumed, total);
+    expectIdentical(first, second);
+    std::remove(path.c_str());
+}
+
+TEST(Resume, StaleRecordsAreIgnoredNeverReused)
+{
+    const RunConfig cfg = quickConfig();
+    const std::size_t total = mechs.size() * benchs.size();
+    const std::string path = tmpPath("stale.store");
+    std::remove(path.c_str());
+
+    // Fill the store under one configuration...
+    RunCounters counts;
+    ResultStore store(path);
+    runWithStore(2, cfg, &store, counts);
+    EXPECT_EQ(store.size(), total);
+
+    // ...then change the system: every record is stale, every task
+    // re-executes, and the store now holds both configurations.
+    RunConfig bigger_l1 = cfg;
+    bigger_l1.system.hier.l1d.size *= 2;
+    runWithStore(2, bigger_l1, &store, counts);
+    EXPECT_EQ(counts.resumed, 0u);
+    EXPECT_EQ(counts.executed, total);
+    EXPECT_EQ(store.size(), 2 * total);
+    std::remove(path.c_str());
+}
+
+TEST(Resume, MemoryStoreResumesWithinProcess)
+{
+    const RunConfig cfg = quickConfig();
+    ResultStore store; // no backing file
+    RunCounters counts;
+    const MatrixResult first = runWithStore(2, cfg, &store, counts);
+    EXPECT_EQ(counts.executed, mechs.size() * benchs.size());
+    const MatrixResult again = runWithStore(2, cfg, &store, counts);
+    EXPECT_EQ(counts.executed, 0u);
+    expectIdentical(first, again);
+}

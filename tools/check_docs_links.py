@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in README.md and docs/*.md.
+
+Checks every markdown link target that is not an external URL or a
+pure in-page anchor: the referenced file must exist relative to the
+linking file. Run from anywhere:
+
+    python3 tools/check_docs_links.py
+
+Exit code 0 = all links resolve; 1 = dead links (listed on stderr).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(md: Path) -> list:
+    dead = []
+    text = md.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (md.parent / path).exists():
+            dead.append((md, target))
+    return dead
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    files = [f for f in files if f.exists()]
+    dead = [d for f in files for d in check_file(f)]
+    for md, target in dead:
+        print(f"dead link in {md.relative_to(root)}: ({target})",
+              file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL, ' + str(len(dead)) + ' dead link(s)' if dead else 'all links resolve'}")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,11 @@
  * parameter and the old records go stale by fingerprint: they are
  * ignored, never silently reused. See docs/RESULT_STORE.md.
  *
- * Usage: resumable_sweep [store-path]
+ * Pass a shard spec as the second argument (e.g. `0/2`) to run only
+ * that shard of the matrix — the remaining tasks are counted as
+ * skipped-by-shard, left for the other shards (docs/SHARDING.md).
+ *
+ * Usage: resumable_sweep [store-path] [shard i/N]
  * Default store path: resumable_sweep.results
  */
 
@@ -27,6 +31,12 @@ main(int argc, char **argv)
 {
     const std::string path =
         argc > 1 ? argv[1] : "resumable_sweep.results";
+    ShardSpec shard;
+    if (argc > 2 && !ShardSpec::parse(argv[2], shard)) {
+        std::fprintf(stderr, "bad shard spec '%s' (want i/N)\n",
+                     argv[2]);
+        return 2;
+    }
 
     const std::vector<std::string> mechanisms = {"Base", "TP", "SP",
                                                  "VC", "GHB"};
@@ -43,13 +53,19 @@ main(int argc, char **argv)
     EngineOptions opts;
     opts.verbose = true; // watch runs complete (and persist)
     opts.store = &store;
+    opts.shard = shard;
     ExperimentEngine engine(opts);
 
     const MatrixResult res = engine.run(mechanisms, benchmarks, cfg);
     const RunCounters counts = engine.lastRun();
-    std::printf("\nsweep done: %zu run(s) resumed from the store, "
-                "%zu executed now\n",
-                counts.resumed, counts.executed);
+    // Resume accounting must stay truthful under sharding: every
+    // task is either executed here, restored from the store, or
+    // explicitly left to another shard — never silently dropped.
+    std::printf("\nsweep done (shard %s): %zu run(s) resumed from "
+                "the store, %zu executed now, %zu skipped for other "
+                "shards\n",
+                shard.str().c_str(), counts.resumed, counts.executed,
+                counts.skipped);
 
     std::printf("\n%-8s", "");
     for (const auto &b : benchmarks)

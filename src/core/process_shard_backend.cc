@@ -1,0 +1,281 @@
+#include "core/process_shard_backend.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "core/progress.hh"
+#include "core/result_store.hh"
+#include "core/scheduler.hh"
+#include "core/thread_pool_backend.hh"
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+/** Worker body, run between fork() and _exit(): execute shard
+ *  @p shard of @p plan into its own store. Never returns. */
+[[noreturn]] void
+runShardWorker(const TaskPlan &plan, const std::vector<char> &done,
+               const ExecutionContext &parent_ctx,
+               const ShardSpec &shard, const std::string &store_path,
+               unsigned threads)
+{
+    try {
+        // Fresh engine: own thread pool, own trace cache. The
+        // parent's pool threads do not exist in this process; its
+        // engine is never touched again (no destructors run either —
+        // see the _exit below).
+        ResultStore store(store_path);
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.keep_traces = parent_ctx.opts.keep_traces;
+        opts.verbose = parent_ctx.opts.verbose;
+        opts.trace_budget_bytes = parent_ctx.opts.trace_budget_bytes;
+        opts.store = &store;
+        opts.shard = shard;
+        if (!parent_ctx.opts.progress_path.empty())
+            opts.progress_path = parent_ctx.opts.progress_path +
+                                 ".shard" + std::to_string(shard.index);
+        ExperimentEngine engine(opts);
+        ProgressWriter progress(opts.progress_path);
+        const ExecutionContext ctx{
+            engine, opts, progress.enabled() ? &progress : nullptr};
+
+        // The parent's resume mask rides through fork(): tasks whose
+        // record the parent store already held are never re-run
+        // here. On top of that, resume from this shard's own store —
+        // a previously killed worker left exactly those records.
+        MatrixResult res = plan.emptyResult();
+        std::vector<char> worker_done = done;
+        RunCounters counters;
+        counters.resumed =
+            plan.prefill(store, res, worker_done);
+
+        if (progress.enabled())
+            progress.write(ProgressEvent("plan")
+                               .field("backend", "process-shard/worker")
+                               .field("shard", shard.str())
+                               .field("total", plan.size())
+                               .field("resumed", counters.resumed));
+
+        ThreadPoolBackend leaf;
+        leaf.execute(plan, worker_done, ctx, res, counters);
+
+        if (progress.enabled())
+            progress.write(ProgressEvent("done")
+                               .field("backend", "process-shard/worker")
+                               .field("shard", shard.str())
+                               .field("executed", counters.executed)
+                               .field("resumed", counters.resumed)
+                               .field("skipped", counters.skipped));
+        std::fflush(stdout);
+        std::fflush(stderr);
+        _exit(0);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "shard worker %zu: %s\n",
+                     static_cast<std::size_t>(shard.index), e.what());
+        std::fflush(stderr);
+        _exit(1);
+    } catch (...) {
+        std::fprintf(stderr, "shard worker %zu: unknown error\n",
+                     static_cast<std::size_t>(shard.index));
+        std::fflush(stderr);
+        _exit(1);
+    }
+}
+
+/** Unique pending-task records already sitting in the store file at
+ *  @p path — a killed worker's leftovers, which the restarted worker
+ *  will *resume* rather than execute. Counted so the parent's
+ *  RunCounters stay truthful: executed means simulated this call. */
+std::size_t
+countPendingRecords(const std::string &path,
+                    const std::set<std::string> &pending_keys)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    std::set<std::string> seen;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ResultRecord rec;
+        if (!ResultStore::parseRecord(line, rec))
+            continue;
+        std::string key = rec.key.str();
+        if (pending_keys.count(key))
+            seen.insert(std::move(key));
+    }
+    return seen.size();
+}
+
+} // namespace
+
+ProcessShardBackend::ProcessShardBackend(ProcessShardOptions opts)
+    : _opts(opts)
+{
+    if (_opts.shards == 0)
+        fatal("ProcessShardOptions::shards must be >= 1");
+}
+
+std::string
+ProcessShardBackend::shardStorePath(const std::string &base,
+                                    std::size_t index,
+                                    std::size_t count)
+{
+    std::string path = base;
+    path += ".shard";
+    path += std::to_string(index);
+    path += "of";
+    path += std::to_string(count);
+    return path;
+}
+
+void
+ProcessShardBackend::execute(const TaskPlan &plan,
+                             const std::vector<char> &done,
+                             const ExecutionContext &ctx,
+                             MatrixResult &res, RunCounters &counters)
+{
+    ResultStore *store = ctx.opts.store;
+    if (!store || store->path().empty())
+        fatal("ProcessShardBackend needs a file-backed result store "
+              "(EngineOptions::store): shard workers hand results "
+              "back through per-shard store files");
+    if (!ctx.opts.shard.whole())
+        fatal("ProcessShardBackend partitions the whole plan itself; "
+              "combine --shard with the thread-pool backend instead");
+
+    counters.skipped = 0; // this backend executes everything pending
+    const std::vector<std::size_t> pending =
+        plan.pendingTasks(done, ShardSpec{});
+    if (pending.empty())
+        return;
+
+    const std::size_t nshards = _opts.shards;
+    const unsigned worker_threads =
+        _opts.threads_per_shard ? _opts.threads_per_shard : 1;
+
+    // Parent-side buffered output must not be replayed by every
+    // child's own writes later; flush before the address space is
+    // duplicated.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    // Keys of every task a worker might run, for the resume
+    // accounting below.
+    std::set<std::string> pending_keys;
+    for (std::size_t i : pending)
+        pending_keys.insert(plan.resultKey(i).str());
+
+    struct Worker
+    {
+        pid_t pid = -1;
+        ShardSpec shard;
+        std::string store_path;
+    };
+    std::vector<Worker> workers;
+    std::size_t worker_resumed = 0;
+    for (std::size_t i = 0; i < nshards; ++i) {
+        const ShardSpec shard{i, nshards};
+        // A shard with nothing pending (all resumed, or the plan is
+        // smaller than the shard count) gets no process.
+        const bool has_work =
+            std::any_of(pending.begin(), pending.end(),
+                        [&](std::size_t t)
+                        { return TaskPlan::inShard(t, shard); });
+        if (!has_work)
+            continue;
+
+        Worker w;
+        w.shard = shard;
+        w.store_path =
+            shardStorePath(store->path(), i, nshards);
+        // Records a previous (killed) worker left behind will be
+        // resumed by the restarted worker, not re-executed; count
+        // them now, before the child starts appending.
+        worker_resumed +=
+            countPendingRecords(w.store_path, pending_keys);
+        w.pid = fork();
+        if (w.pid < 0)
+            fatal("ProcessShardBackend: fork() failed for shard ",
+                  shard.str());
+        if (w.pid == 0)
+            runShardWorker(plan, done, ctx, shard, w.store_path,
+                           worker_threads); // never returns
+        if (ctx.progress)
+            ctx.progress->write(
+                ProgressEvent("shard")
+                    .field("shard", shard.str())
+                    .field("pid", static_cast<std::uint64_t>(w.pid))
+                    .field("store", w.store_path));
+        workers.push_back(std::move(w));
+    }
+
+    // Wait for every worker before judging any: a failed shard must
+    // not leave siblings running unsupervised.
+    std::string failures;
+    for (const Worker &w : workers) {
+        int status = 0;
+        if (waitpid(w.pid, &status, 0) < 0) {
+            failures += " shard " + w.shard.str() + ": waitpid failed;";
+            continue;
+        }
+        const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (ctx.progress)
+            ctx.progress->write(
+                ProgressEvent("shard_exit")
+                    .field("shard", w.shard.str())
+                    .field("ok", static_cast<std::uint64_t>(ok)));
+        if (!ok) {
+            failures += " shard " + w.shard.str() + ": ";
+            failures += WIFSIGNALED(status)
+                            ? "killed by signal " +
+                                  std::to_string(WTERMSIG(status))
+                            : "exit status " +
+                                  std::to_string(WEXITSTATUS(status));
+            failures += ';';
+        }
+    }
+    if (!failures.empty()) {
+        // Shard stores are deliberately kept: the next run resumes
+        // exactly the missing tasks of the failed shard(s).
+        throw std::runtime_error("ProcessShardBackend:" + failures);
+    }
+
+    // All workers succeeded: merge shard stores by concatenation
+    // into the parent store, then fill the matrix from the merged
+    // records — the same resume path a restarted sweep takes.
+    for (const Worker &w : workers)
+        store->merge(w.store_path);
+    std::vector<char> merged_done = done;
+    const std::size_t filled = plan.prefill(*store, res, merged_done);
+    // Truthful accounting: of the records just merged, the ones a
+    // killed worker had already persisted were resumed inside the
+    // restarted worker, not simulated by this call.
+    counters.executed = filled - worker_resumed;
+    counters.resumed += worker_resumed;
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        if (!merged_done[i])
+            throw std::runtime_error(
+                "ProcessShardBackend: shard worker exited cleanly "
+                "but produced no record for " +
+                plan.describe(i, ShardSpec{0, nshards}));
+
+    if (!_opts.keep_shard_stores)
+        for (const Worker &w : workers)
+            std::remove(w.store_path.c_str());
+}
+
+} // namespace microlib

@@ -1,0 +1,107 @@
+#include "core/progress.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+std::string
+ProgressEvent::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+ProgressEvent::ProgressEvent(const std::string &name)
+{
+    _os << "{\"event\":\"" << escape(name) << '"';
+}
+
+ProgressEvent &
+ProgressEvent::field(const char *key, const std::string &value)
+{
+    _os << ",\"" << key << "\":\"" << escape(value) << '"';
+    return *this;
+}
+
+ProgressEvent &
+ProgressEvent::field(const char *key, const char *value)
+{
+    return field(key, std::string(value));
+}
+
+ProgressEvent &
+ProgressEvent::field(const char *key, std::uint64_t value)
+{
+    _os << ",\"" << key << "\":" << value;
+    return *this;
+}
+
+ProgressEvent &
+ProgressEvent::field(const char *key, double value)
+{
+    // Fixed 3-decimal seconds: progress is telemetry, not results,
+    // and a stable format keeps the stream easy to parse by hand.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    _os << ",\"" << key << "\":" << buf;
+    return *this;
+}
+
+std::string
+ProgressEvent::str() const
+{
+    return _os.str() + "}";
+}
+
+ProgressWriter::ProgressWriter(const std::string &path)
+{
+    if (path.empty())
+        return;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    _out.open(path, std::ios::trunc);
+    if (!_out)
+        warn("progress stream: cannot open ", path,
+             "; progress reporting disabled");
+}
+
+void
+ProgressWriter::write(const ProgressEvent &event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(_mu);
+    _out << event.str() << '\n';
+    _out.flush(); // pollers and tail -f see whole lines only
+}
+
+} // namespace microlib

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Machine-readable sweep progress: one JSON object per line.
+ *
+ * Long sweeps — especially sharded ones running on other hosts —
+ * need to be monitorable without scraping human log output. With
+ * EngineOptions::progress_path set, every execution backend appends
+ * one JSON line per event to that file (flushed per line, so `tail
+ * -f` and remote pollers always see whole records):
+ *
+ *   {"event":"plan",...}   once per run(): totals, resumed/skipped
+ *                          counts, the shard spec
+ *   {"event":"run",...}    per finished task: benchmark, mechanism,
+ *                          per-benchmark and overall completed/total
+ *                          counters, elapsed seconds, ETA seconds
+ *   {"event":"bench",...}  when a benchmark's last pending task of
+ *                          this process finishes
+ *   {"event":"done",...}   once per run(): final counters
+ *
+ * Each shard of a multi-process sweep writes its own stream (the
+ * parent derives per-shard paths), so shards are monitored
+ * independently. Progress output never feeds back into results: it
+ * carries wall-clock times but the determinism contract is untouched.
+ */
+
+#ifndef MICROLIB_CORE_PROGRESS_HH
+#define MICROLIB_CORE_PROGRESS_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace microlib
+{
+
+/** Builder for one progress line: {"event":"<name>", fields...}. */
+class ProgressEvent
+{
+  public:
+    explicit ProgressEvent(const std::string &name);
+
+    ProgressEvent &field(const char *key, const std::string &value);
+    ProgressEvent &field(const char *key, const char *value);
+    ProgressEvent &field(const char *key, std::uint64_t value);
+    ProgressEvent &field(const char *key, double value);
+
+    /** The complete JSON object, closing brace included. */
+    std::string str() const;
+
+    /** JSON string escaping (quotes, backslash, control chars). */
+    static std::string escape(const std::string &s);
+
+  private:
+    std::ostringstream _os;
+};
+
+/** Append-per-line JSONL progress stream; thread-safe, flushed per
+ *  event. A default-constructed writer is disabled and write() is a
+ *  no-op, so call sites never branch. */
+class ProgressWriter
+{
+  public:
+    ProgressWriter() = default;
+
+    /** Open (truncate) @p path; empty = disabled. Parent directories
+     *  are created. */
+    explicit ProgressWriter(const std::string &path);
+
+    ProgressWriter(const ProgressWriter &) = delete;
+    ProgressWriter &operator=(const ProgressWriter &) = delete;
+
+    bool enabled() const { return _out.is_open(); }
+
+    void write(const ProgressEvent &event);
+
+  private:
+    std::mutex _mu;
+    std::ofstream _out;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_PROGRESS_HH

@@ -352,4 +352,45 @@ ResultStore::size() const
     return _records.size();
 }
 
+std::size_t
+ResultStore::merge(const std::string &input_path)
+{
+    // Merging a store into itself would never terminate: put()
+    // appends to the backing file while getline() is still reading
+    // it, so every record read lands another one ahead of the
+    // cursor.
+    if (!_path.empty()) {
+        std::error_code ec;
+        if (input_path == _path ||
+            std::filesystem::equivalent(input_path, _path, ec)) {
+            warn("result store merge: refusing to merge ", input_path,
+                 " into itself");
+            return 0;
+        }
+    }
+    std::ifstream in(input_path);
+    if (!in) {
+        warn("result store merge: cannot read ", input_path);
+        return 0;
+    }
+    std::string line;
+    std::size_t merged = 0;
+    std::size_t skipped = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ResultRecord rec;
+        if (!parseRecord(line, rec)) {
+            ++skipped;
+            continue;
+        }
+        put(rec);
+        ++merged;
+    }
+    if (skipped)
+        warn("result store merge from ", input_path, ": skipped ",
+             skipped, " unreadable record(s)");
+    return merged;
+}
+
 } // namespace microlib

@@ -140,6 +140,17 @@ class ResultStore
 
     std::size_t size() const;
 
+    /**
+     * Merge-by-concatenation: append every readable record of the
+     * store file at @p input_path into this store (and its backing
+     * file, when present). Unreadable lines are skipped, exactly as
+     * loadFile() skips them. Duplicate keys overwrite — identical by
+     * the determinism contract. Returns the number of records read.
+     * This is how sharded sweeps combine their per-shard stores; see
+     * docs/SHARDING.md.
+     */
+    std::size_t merge(const std::string &input_path);
+
     const std::string &path() const { return _path; }
 
     /** Serialize @p rec as one store line (no trailing newline). */

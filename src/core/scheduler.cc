@@ -1,11 +1,10 @@
 #include "core/scheduler.hh"
 
-#include <chrono>
-#include <deque>
-#include <exception>
-#include <mutex>
+#include <cstdlib>
 
+#include "core/progress.hh"
 #include "core/result_store.hh"
+#include "core/thread_pool_backend.hh"
 #include "sim/logging.hh"
 #include "trace/spec_suite.hh"
 
@@ -15,83 +14,38 @@ namespace microlib
 namespace
 {
 
-/** One cell of the matrix: mechanism index x benchmark index. */
-struct RunTask
+/** Effective trace-cache budget: the explicit option, else the
+ *  MICROLIB_TRACE_BUDGET_MB environment knob, else unlimited. */
+std::size_t
+resolveTraceBudget(const EngineOptions &opts)
 {
-    std::size_t m = 0;
-    std::size_t b = 0;
-};
+    if (opts.trace_budget_bytes)
+        return opts.trace_budget_bytes;
+    const char *env = std::getenv("MICROLIB_TRACE_BUDGET_MB");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("ignoring malformed MICROLIB_TRACE_BUDGET_MB=", env);
+        return 0;
+    }
+    return static_cast<std::size_t>(mb) * 1024 * 1024;
+}
 
 } // namespace
-
-/** A run whose trace another worker is still materializing. */
-struct DeferredRun
-{
-    RunTask task;
-    TraceCache::Future future;
-};
-
-/**
- * Shared scheduling state for one run(). The task list is the flat
- * enumeration of the matrix with benchmark varying slowest, so one
- * benchmark's runs are contiguous and its trace can be evicted soon
- * after its block drains (the keep_traces=false memory profile).
- * Pipelining across benchmarks still happens: workers that find a
- * trace in flight defer those runs (a mutex-bump per task, no
- * simulation work) and fall through to the next benchmark's block,
- * whose trace they materialize concurrently.
- */
-struct ExperimentEngine::State
-{
-    const std::vector<std::string> &mechanisms;
-    const std::vector<std::string> &benchmarks;
-    const RunConfig &cfg;
-    MatrixResult &res;
-
-    std::vector<std::string> keys;       ///< trace key per benchmark
-    std::vector<std::size_t> remaining;  ///< unfinished runs per benchmark
-
-    /** Per-flat-index resume flags: tasks whose result the store
-     *  already held were pre-filled by run() and are never picked
-     *  up by a worker. */
-    std::vector<char> skip;
-    std::size_t resumed = 0;             ///< pre-filled task count
-    std::uint64_t config_hash = 0;       ///< fingerprintConfig(cfg)
-
-    std::mutex mu;
-    std::size_t next = 0;                ///< cursor into the flat order
-    std::deque<DeferredRun> deferred;    ///< runs awaiting their trace
-    std::size_t done = 0;                ///< finished runs (progress)
-    std::exception_ptr error;            ///< first failure, if any
-
-    State(const std::vector<std::string> &mechs,
-          const std::vector<std::string> &benchs, const RunConfig &c,
-          MatrixResult &r)
-        : mechanisms(mechs), benchmarks(benchs), cfg(c), res(r),
-          remaining(benchs.size(), mechs.size()),
-          skip(mechs.size() * benchs.size(), 0)
-    {
-        keys.reserve(benchs.size());
-        for (const auto &b : benchs)
-            keys.push_back(traceKey(b, c));
-    }
-
-    std::size_t total() const
-    {
-        return mechanisms.size() * benchmarks.size();
-    }
-
-    RunTask decode(std::size_t flat) const
-    {
-        return {flat % mechanisms.size(), flat / mechanisms.size()};
-    }
-};
 
 ExperimentEngine::ExperimentEngine(EngineOptions opts)
     : _opts(opts),
       _pool((opts.threads ? opts.threads
                           : ThreadPool::defaultThreadCount()) - 1)
 {
+    if (_opts.shard.count == 0)
+        fatal("EngineOptions::shard.count must be >= 1");
+    if (_opts.shard.index >= _opts.shard.count)
+        fatal("EngineOptions::shard.index ", _opts.shard.index,
+              " out of range for ", _opts.shard.count, " shard(s)");
+    _cache.setByteBudget(resolveTraceBudget(_opts));
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -100,16 +54,12 @@ std::string
 ExperimentEngine::traceKey(const std::string &benchmark,
                            const RunConfig &cfg)
 {
-    // benchmark + the shared window description (experiment.cc):
-    // the same string the result-store fingerprint mixes in.
-    std::string key = benchmark;
-    key += '\0';
-    key += windowKey(cfg);
-    return key;
+    return traceCacheKey(benchmark, cfg);
 }
 
 std::shared_ptr<const MaterializedTrace>
-ExperimentEngine::materializeInto(const std::string &key,
+ExperimentEngine::materializeInto(TraceCache &cache,
+                                  const std::string &key,
                                   const std::string &benchmark,
                                   const RunConfig &cfg)
 {
@@ -129,13 +79,15 @@ ExperimentEngine::materializeInto(const std::string &key,
             window.skip = cfg.scale.arbitrary_skip;
             window.length = cfg.scale.arbitrary_length;
         }
-        _cache.fulfill(key,
-                       materialize(specProgram(benchmark), window));
+        // Return fulfill()'s own pointer: under a byte budget the
+        // entry can be evicted the moment it lands, so re-looking
+        // the key up (wait()) could panic on an unclaimed key.
+        return cache.fulfill(
+            key, materialize(specProgram(benchmark), window));
     } catch (...) {
-        _cache.fail(key, std::current_exception());
+        cache.fail(key, std::current_exception());
         throw;
     }
-    return _cache.wait(key);
 }
 
 std::shared_ptr<const MaterializedTrace>
@@ -145,115 +97,8 @@ ExperimentEngine::trace(const std::string &benchmark,
     const std::string key = traceKey(benchmark, cfg);
     TraceCache::Future fut;
     if (_cache.claim(key, fut) == TraceCache::Claim::Owner)
-        return materializeInto(key, benchmark, cfg);
+        return materializeInto(_cache, key, benchmark, cfg);
     return fut.get();
-}
-
-void
-ExperimentEngine::drain(State &st)
-{
-    for (;;) {
-        RunTask task;
-        TraceCache::Future deferred_fut;
-        bool have = false;
-        bool must_wait = false;
-        {
-            std::unique_lock<std::mutex> lock(st.mu);
-            if (st.error)
-                return; // a sibling failed: stop picking up work
-            // Deferred runs whose trace has landed come first: their
-            // benchmark is fully paid for.
-            for (auto it = st.deferred.begin();
-                 it != st.deferred.end(); ++it) {
-                if (it->future.wait_for(std::chrono::seconds(0)) ==
-                    std::future_status::ready) {
-                    task = it->task;
-                    deferred_fut = it->future;
-                    st.deferred.erase(it);
-                    have = true;
-                    must_wait = true;
-                    break;
-                }
-            }
-            if (!have) {
-                // Resumed slots were pre-filled by run(): skip them.
-                while (st.next < st.total() && st.skip[st.next])
-                    ++st.next;
-                if (st.next < st.total()) {
-                    task = st.decode(st.next++);
-                    have = true;
-                }
-            }
-            if (!have && !st.deferred.empty()) {
-                // Nothing else to steal: block on a pending trace.
-                task = st.deferred.front().task;
-                deferred_fut = st.deferred.front().future;
-                st.deferred.pop_front();
-                have = true;
-                must_wait = true;
-            }
-            if (!have)
-                return;
-        }
-
-        const std::string &key = st.keys[task.b];
-        TraceCache::TracePtr trace;
-        if (must_wait) {
-            // Deferred runs keep the future from their original
-            // claim: even if the owner failed and the cache entry
-            // was dropped for retry, this surfaces that error
-            // instead of panicking on a missing key.
-            trace = deferred_fut.get();
-        } else {
-            TraceCache::Future fut;
-            switch (_cache.claim(key, fut)) {
-              case TraceCache::Claim::Owner:
-                trace = materializeInto(key, st.benchmarks[task.b],
-                                        st.cfg);
-                break;
-              case TraceCache::Claim::Ready:
-                trace = fut.get();
-                break;
-              case TraceCache::Claim::Pending:
-                // Someone else is materializing: steal unrelated
-                // work instead of idling on the future.
-                std::unique_lock<std::mutex> lock(st.mu);
-                st.deferred.push_back({task, std::move(fut)});
-                continue;
-            }
-        }
-
-        RunOutput out = runOne(*trace, st.mechanisms[task.m], st.cfg);
-        if (_opts.store) {
-            // Persist before publishing: a sweep killed after this
-            // point resumes past this run. put() flushes, so the
-            // record survives even an abrupt exit.
-            _opts.store->put(makeRecord(
-                makeResultKey(st.benchmarks[task.b],
-                              st.mechanisms[task.m], st.config_hash),
-                out));
-        }
-        // Each task owns its (m, b) slot exclusively: no lock needed,
-        // and the matrix is identical for any worker count.
-        st.res.ipc[task.m][task.b] = out.core.ipc;
-        st.res.outputs[task.m][task.b] = std::move(out);
-
-        std::size_t done_now = 0;
-        bool evict = false;
-        {
-            std::unique_lock<std::mutex> lock(st.mu);
-            done_now = ++st.done;
-            if (--st.remaining[task.b] == 0 && !_opts.keep_traces)
-                evict = true;
-        }
-        if (evict)
-            _cache.evict(key);
-        if (_opts.verbose)
-            inform("[", done_now + st.resumed, "/", st.total(), "] ",
-                   st.benchmarks[task.b], " / ",
-                   st.mechanisms[task.m], ": IPC ",
-                   st.res.ipc[task.m][task.b]);
-    }
 }
 
 MatrixResult
@@ -261,65 +106,63 @@ ExperimentEngine::run(const std::vector<std::string> &mechanisms,
                       const std::vector<std::string> &benchmarks,
                       const RunConfig &cfg)
 {
+    return runPlan(TaskPlan(mechanisms, benchmarks, cfg));
+}
+
+MatrixResult
+ExperimentEngine::runPlan(const TaskPlan &plan)
+{
     _last = RunCounters{};
-    MatrixResult res;
-    res.mechanisms = mechanisms;
-    res.benchmarks = benchmarks;
-    res.ipc.assign(mechanisms.size(),
-                   std::vector<double>(benchmarks.size(), 0.0));
-    res.outputs.assign(mechanisms.size(),
-                       std::vector<RunOutput>(benchmarks.size()));
-    res.buildIndices();
-    if (mechanisms.empty() || benchmarks.empty())
+    MatrixResult res = plan.emptyResult();
+    if (plan.empty())
         return res;
 
-    State st(mechanisms, benchmarks, cfg, res);
+    // Resume pass (plan logic): pre-fill every slot whose
+    // fingerprint already has a record, shard membership
+    // notwithstanding — a resumed slot is free no matter who ran it.
+    // A benchmark whose tasks all resume is never materialized.
+    std::vector<char> done(plan.size(), 0);
     if (_opts.store) {
-        // Resume pass: pre-fill every slot whose fingerprint already
-        // has a record. The config is hashed once; keys differ only
-        // in (benchmark, mechanism, seed). A benchmark whose runs
-        // all resume is never materialized at all.
-        st.config_hash = fingerprintConfig(cfg);
-        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-            for (std::size_t m = 0; m < mechanisms.size(); ++m) {
-                const std::optional<ResultRecord> rec =
-                    _opts.store->find(
-                        makeResultKey(benchmarks[b], mechanisms[m],
-                                      st.config_hash));
-                if (!rec)
-                    continue;
-                res.ipc[m][b] = rec->core.ipc;
-                res.outputs[m][b] = toRunOutput(*rec);
-                st.skip[b * mechanisms.size() + m] = 1;
-                --st.remaining[b];
-                ++st.resumed;
-            }
-        }
-        if (_opts.verbose && st.resumed)
-            inform("resumed ", st.resumed, "/", st.total(),
+        _last.resumed = plan.prefill(*_opts.store, res, done);
+        if (_opts.verbose && _last.resumed)
+            inform("resumed ", _last.resumed, "/", plan.size(),
                    " runs from ", _opts.store->path().empty()
                                       ? "<memory store>"
                                       : _opts.store->path());
     }
-    // Failures are captured, never thrown across the pool: every
-    // worker must come home before State leaves scope.
-    auto guarded = [this, &st] {
-        try {
-            drain(st);
-        } catch (...) {
-            std::unique_lock<std::mutex> lock(st.mu);
-            if (!st.error)
-                st.error = std::current_exception();
-        }
-    };
-    for (unsigned t = 0; t < _pool.size(); ++t)
-        _pool.submit(guarded);
-    guarded(); // the calling thread is worker zero
-    _pool.wait();
-    _last.executed = st.done;
-    _last.resumed = st.resumed;
-    if (st.error)
-        std::rethrow_exception(st.error);
+
+    ProgressWriter progress(_opts.progress_path);
+    const ExecutionContext ctx{*this, _opts,
+                               progress.enabled() ? &progress
+                                                  : nullptr};
+    ThreadPoolBackend builtin;
+    ExecutionBackend *backend =
+        _opts.backend ? _opts.backend : &builtin;
+
+    if (progress.enabled()) {
+        const std::size_t pending =
+            plan.pendingTasks(done, _opts.shard).size();
+        progress.write(ProgressEvent("plan")
+                           .field("backend", backend->name())
+                           .field("shard", _opts.shard.str())
+                           .field("total", plan.size())
+                           .field("pending", pending)
+                           .field("resumed", _last.resumed)
+                           .field("benchmarks",
+                                  plan.benchmarks().size())
+                           .field("mechanisms",
+                                  plan.mechanisms().size()));
+    }
+
+    backend->execute(plan, done, ctx, res, _last);
+
+    if (progress.enabled())
+        progress.write(ProgressEvent("done")
+                           .field("backend", backend->name())
+                           .field("shard", _opts.shard.str())
+                           .field("executed", _last.executed)
+                           .field("resumed", _last.resumed)
+                           .field("skipped", _last.skipped));
     return res;
 }
 

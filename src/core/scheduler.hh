@@ -1,29 +1,35 @@
 /**
  * @file
- * ExperimentEngine: the matrix-wide experiment scheduler.
+ * ExperimentEngine: the matrix-wide experiment driver.
  *
- * The old runMatrix() walked benchmarks one at a time: materialize
- * the trace, spawn a thread team over the mechanisms, join, repeat.
- * That design erects a full barrier after every benchmark, caps
- * parallelism at the mechanism count, and pays thread creation per
- * benchmark. The engine instead drains ONE work queue holding every
- * (benchmark, mechanism) run of the matrix on a persistent worker
- * pool:
+ * A sweep is described by a TaskPlan (core/task_plan.hh): the
+ * deterministic, fingerprinted enumeration of every (benchmark,
+ * mechanism) task with its stable index and pre-assigned result
+ * slot. The engine is the facade that ties a plan to an execution
+ * strategy:
  *
- *  - the first worker to need a benchmark's trace becomes its owner
- *    and materializes it once into the engine's TraceCache;
- *  - workers that hit a trace still being materialized defer that
- *    run and steal unrelated work instead of blocking;
- *  - only when no other work exists does a worker wait on a trace's
- *    shared_future.
+ *   run() = build TaskPlan
+ *         + pre-fill resumed slots from the ResultStore (plan logic)
+ *         + hand the pending tasks to an ExecutionBackend
  *
- * Every run writes its pre-assigned (m, b) slot of MatrixResult, so
- * the IPC matrix is bit-identical for any MICROLIB_THREADS value:
- * scheduling order affects wall-clock only, never results. The
- * engine outlives individual matrices; traces (and SimPoint choices)
- * are shared across run() calls, so e.g. a finite- vs infinite-MSHR
- * study materializes each benchmark once, not twice.
+ * The default backend is ThreadPoolBackend (the in-process drain
+ * loop over the engine's persistent worker pool); EngineOptions can
+ * swap in ProcessShardBackend (forked shard workers, one store per
+ * shard, merged by concatenation) or any custom ExecutionBackend.
+ * EngineOptions::shard restricts an in-process run to one shard of
+ * the plan — the `microlib_sweep --shard i/N` building block for
+ * cluster-scale sweeps.
  *
+ * Determinism contract, regardless of backend, worker count or shard
+ * count: every task writes its pre-assigned (m, b) slot of
+ * MatrixResult with a result that is a pure function of the plan, so
+ * the matrix is bit-identical for any MICROLIB_THREADS value and for
+ * any shard partitioning whose stores are merged back together.
+ * Scheduling affects wall-clock only, never results.
+ *
+ * The engine outlives individual matrices; traces (and SimPoint
+ * choices) are shared across run() calls, so e.g. a finite- vs
+ * infinite-MSHR study materializes each benchmark once, not twice.
  * With a ResultStore attached (EngineOptions::store), finished runs
  * are persisted as fingerprinted records and run() pre-fills matrix
  * slots whose record already exists, executing only the missing
@@ -37,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "core/execution_backend.hh"
 #include "core/experiment.hh"
 #include "sim/thread_pool.hh"
 #include "trace/trace_cache.hh"
@@ -74,16 +81,36 @@ struct EngineOptions
      * ignored rather than reused.
      */
     ResultStore *store = nullptr;
+
+    /**
+     * Execute only shard (index mod count) of the plan; pending
+     * tasks outside the shard are counted as RunCounters::skipped
+     * and their matrix slots stay empty unless the store resumed
+     * them. The default {0, 1} runs the whole plan. Disjoint shards
+     * run by separate processes/hosts against separate stores merge
+     * bit-identically — see docs/SHARDING.md.
+     */
+    ShardSpec shard;
+
+    /** JSONL progress stream path (core/progress.hh); empty =
+     *  disabled. Truncated at each run(). */
+    std::string progress_path;
+
+    /**
+     * Trace-cache byte budget; 0 = read MICROLIB_TRACE_BUDGET_MB
+     * (unset or 0 = unlimited, the default). Under a budget the
+     * cache LRU-evicts ready traces that no pending task references
+     * — full-suite sweeps on small hosts trade re-materialization
+     * time for memory, never correctness.
+     */
+    std::size_t trace_budget_bytes = 0;
+
+    /** Execution strategy; not owned, may be nullptr = the engine's
+     *  built-in ThreadPoolBackend. See core/execution_backend.hh. */
+    ExecutionBackend *backend = nullptr;
 };
 
-/** What the last run() actually did (resume accounting). */
-struct RunCounters
-{
-    std::size_t executed = 0; ///< runs simulated by this call
-    std::size_t resumed = 0;  ///< runs restored from the store
-};
-
-/** Matrix-wide experiment scheduler over a persistent thread pool. */
+/** Matrix-wide experiment driver over plan + backend. */
 class ExperimentEngine
 {
   public:
@@ -96,12 +123,16 @@ class ExperimentEngine
     /**
      * Run the full @p mechanisms x @p benchmarks matrix under
      * @p cfg. Results land in deterministic (m, b) slots regardless
-     * of worker count or scheduling order. Not reentrant: one run()
-     * at a time per engine.
+     * of backend, worker count or scheduling order. Not reentrant:
+     * one run() at a time per engine.
      */
     MatrixResult run(const std::vector<std::string> &mechanisms,
                      const std::vector<std::string> &benchmarks,
                      const RunConfig &cfg);
+
+    /** Run an already-built @p plan (shared by callers that also
+     *  print or shard it). Same contract as run(). */
+    MatrixResult runPlan(const TaskPlan &plan);
 
     /**
      * The cached trace for (@p benchmark, @p cfg), materializing it
@@ -118,6 +149,10 @@ class ExperimentEngine
      *  cache().clear() releases all retained traces). */
     TraceCache &cache() { return _cache; }
 
+    /** The engine's persistent worker pool (execution backends drain
+     *  their task queues on it). */
+    ThreadPool &pool() { return _pool; }
+
     /** Attach/replace the result store (nullptr detaches). Takes
      *  effect on the next run(); the store must outlive the engine
      *  or be detached first. */
@@ -126,25 +161,31 @@ class ExperimentEngine
     /** The attached result store, or nullptr. */
     ResultStore *resultStore() const { return _opts.store; }
 
-    /** Executed/resumed counts of the most recent run(). */
+    /** The options the engine was built with. */
+    const EngineOptions &options() const { return _opts; }
+
+    /** Executed/resumed/skipped counts of the most recent run(). */
     RunCounters lastRun() const { return _last; }
 
     /**
      * Cache key for (@p benchmark, @p cfg): benchmark plus the
      * resolved trace window — everything a materialized trace
-     * depends on.
+     * depends on. Delegates to traceCacheKey (core/task_plan.hh).
      */
     static std::string traceKey(const std::string &benchmark,
                                 const RunConfig &cfg);
 
+    /**
+     * Owner-side materialization: fulfill @p key in @p cache with
+     * the trace for (@p benchmark, @p cfg), or fail the entry and
+     * rethrow. Call only after claim() returned Owner. Shared by the
+     * engine's trace() endpoint and the execution backends.
+     */
+    static std::shared_ptr<const MaterializedTrace>
+    materializeInto(TraceCache &cache, const std::string &key,
+                    const std::string &benchmark, const RunConfig &cfg);
+
   private:
-    struct State;
-
-    void drain(State &st);
-    std::shared_ptr<const MaterializedTrace>
-    materializeInto(const std::string &key, const std::string &benchmark,
-                    const RunConfig &cfg);
-
     EngineOptions _opts;
     TraceCache _cache;
     ThreadPool _pool;

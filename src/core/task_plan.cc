@@ -1,0 +1,165 @@
+#include "core/task_plan.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/result_store.hh"
+#include "sim/fingerprint.hh"
+
+namespace microlib
+{
+
+std::string
+ShardSpec::str() const
+{
+    std::string s = std::to_string(index);
+    s += '/';
+    s += std::to_string(count ? count : 1);
+    return s;
+}
+
+bool
+ShardSpec::parse(const std::string &text, ShardSpec &out)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    char *end = nullptr;
+    const unsigned long long i =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash)
+        return false;
+    const unsigned long long n =
+        std::strtoull(text.c_str() + slash + 1, &end, 10);
+    if (*end != '\0' || n == 0 || i >= n)
+        return false;
+    out.index = static_cast<std::size_t>(i);
+    out.count = static_cast<std::size_t>(n);
+    return true;
+}
+
+std::string
+traceCacheKey(const std::string &benchmark, const RunConfig &cfg)
+{
+    // benchmark + the shared window description (experiment.cc):
+    // the same string the result-store fingerprint mixes in.
+    std::string key = benchmark;
+    key += '\0';
+    key += windowKey(cfg);
+    return key;
+}
+
+TaskPlan::TaskPlan(std::vector<std::string> mechanisms,
+                   std::vector<std::string> benchmarks,
+                   const RunConfig &cfg)
+    : _mechanisms(std::move(mechanisms)),
+      _benchmarks(std::move(benchmarks)), _cfg(cfg),
+      _config_hash(fingerprintConfig(cfg))
+{
+    _trace_keys.reserve(_benchmarks.size());
+    for (const auto &b : _benchmarks)
+        _trace_keys.push_back(traceCacheKey(b, _cfg));
+
+    // Canonical order: benchmark varies slowest, so one benchmark's
+    // tasks are contiguous and its trace can be dropped soon after
+    // its block drains. The flat index IS the slot assignment and
+    // the shard unit; nothing about execution may change it.
+    _tasks.reserve(_mechanisms.size() * _benchmarks.size());
+    for (std::size_t b = 0; b < _benchmarks.size(); ++b)
+        for (std::size_t m = 0; m < _mechanisms.size(); ++m)
+            _tasks.push_back({b * _mechanisms.size() + m, m, b});
+}
+
+ResultKey
+TaskPlan::resultKey(std::size_t index) const
+{
+    const PlanTask &t = _tasks[index];
+    return makeResultKey(_benchmarks[t.b], _mechanisms[t.m],
+                         _config_hash);
+}
+
+MatrixResult
+TaskPlan::emptyResult() const
+{
+    MatrixResult res;
+    res.mechanisms = _mechanisms;
+    res.benchmarks = _benchmarks;
+    res.ipc.assign(_mechanisms.size(),
+                   std::vector<double>(_benchmarks.size(), 0.0));
+    res.outputs.assign(_mechanisms.size(),
+                       std::vector<RunOutput>(_benchmarks.size()));
+    res.buildIndices();
+    return res;
+}
+
+std::vector<std::size_t>
+TaskPlan::shardTasks(const ShardSpec &shard) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _tasks.size(); ++i)
+        if (inShard(i, shard))
+            out.push_back(i);
+    return out;
+}
+
+std::vector<std::size_t>
+TaskPlan::pendingTasks(const std::vector<char> &done,
+                       const ShardSpec &shard) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < _tasks.size(); ++i)
+        if (!done[i] && inShard(i, shard))
+            out.push_back(i);
+    return out;
+}
+
+std::size_t
+TaskPlan::prefill(const ResultStore &store, MatrixResult &res,
+                  std::vector<char> &done) const
+{
+    std::size_t filled = 0;
+    for (std::size_t i = 0; i < _tasks.size(); ++i) {
+        if (done[i])
+            continue;
+        const std::optional<ResultRecord> rec =
+            store.find(resultKey(i));
+        if (!rec)
+            continue;
+        const PlanTask &t = _tasks[i];
+        res.ipc[t.m][t.b] = rec->core.ipc;
+        res.outputs[t.m][t.b] = toRunOutput(*rec);
+        done[i] = 1;
+        ++filled;
+    }
+    return filled;
+}
+
+std::vector<std::size_t>
+TaskPlan::pendingPerBenchmark(const std::vector<char> &done,
+                              const ShardSpec &shard) const
+{
+    std::vector<std::size_t> counts(_benchmarks.size(), 0);
+    for (std::size_t i = 0; i < _tasks.size(); ++i)
+        if (!done[i] && inShard(i, shard))
+            ++counts[_tasks[i].b];
+    return counts;
+}
+
+std::string
+TaskPlan::describe(std::size_t index, const ShardSpec &shard) const
+{
+    const PlanTask &t = _tasks[index];
+    const ResultKey key = resultKey(index);
+    std::ostringstream os;
+    os << "task=" << t.index << " shard="
+       << (shard.whole() ? 0 : t.index % shard.count) << '/'
+       << (shard.whole() ? 1 : shard.count)
+       << " bench=" << _benchmarks[t.b]
+       << " mech=" << _mechanisms[t.m]
+       << " fp=" << Fingerprint::hexOf(key.config_hash)
+       << " seed=" << key.trace_seed;
+    return os.str();
+}
+
+} // namespace microlib

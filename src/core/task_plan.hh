@@ -1,0 +1,182 @@
+/**
+ * @file
+ * TaskPlan: the deterministic description of a sweep, independent of
+ * how (or where) it executes.
+ *
+ * A sweep is a (benchmark x mechanism) matrix under one RunConfig.
+ * The plan enumerates every task of that matrix in one canonical
+ * order (benchmark varies slowest, so one benchmark's tasks are
+ * contiguous), assigns each task its stable flat index and its
+ * pre-assigned MatrixResult slot, and fingerprints it with the same
+ * ResultKey the result store uses. Because the enumeration is a pure
+ * function of (mechanisms, benchmarks, config), every process that
+ * builds the plan — a single-host run, each shard of a multi-process
+ * sweep, a cluster launcher printing the task list — agrees on task
+ * indices, slots and fingerprints without any communication.
+ *
+ * That agreement is what makes sharding trivial: shard i of N is
+ * simply the tasks whose index is congruent to i mod N, shard stores
+ * merge by concatenation, and the merged matrix is bit-identical to a
+ * single-process run because every task writes the same slot with the
+ * same fingerprinted result no matter which process ran it.
+ *
+ * The plan also owns the resume logic: prefill() fills every matrix
+ * slot whose record already exists in a ResultStore and marks the
+ * task done, so execution backends only ever see the missing tasks.
+ */
+
+#ifndef MICROLIB_CORE_TASK_PLAN_HH
+#define MICROLIB_CORE_TASK_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace microlib
+{
+
+class ResultStore;
+struct ResultKey;
+
+/** Which slice of a plan a process executes: shard index of count.
+ *  The default {0, 1} is the whole plan. */
+struct ShardSpec
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+
+    bool whole() const { return count <= 1; }
+
+    /** "i/N" (the CLI flag syntax). */
+    std::string str() const;
+
+    /** Parse "i/N" (0 <= i < N); false on malformed input. */
+    static bool parse(const std::string &text, ShardSpec &out);
+};
+
+/** One task of the plan: a (mechanism, benchmark) cell with its
+ *  stable index — the slot assignment and the shard unit. */
+struct PlanTask
+{
+    std::size_t index = 0; ///< flat index: b * mechanisms + m
+    std::size_t m = 0;     ///< row in MatrixResult
+    std::size_t b = 0;     ///< column in MatrixResult
+};
+
+/** Deterministic, fingerprinted enumeration of one sweep. */
+class TaskPlan
+{
+  public:
+    /** Enumerate @p mechanisms x @p benchmarks under @p cfg. The
+     *  config is hashed once (fingerprintConfig); per-benchmark trace
+     *  keys are precomputed. */
+    TaskPlan(std::vector<std::string> mechanisms,
+             std::vector<std::string> benchmarks, const RunConfig &cfg);
+
+    const std::vector<std::string> &mechanisms() const
+    {
+        return _mechanisms;
+    }
+    const std::vector<std::string> &benchmarks() const
+    {
+        return _benchmarks;
+    }
+
+    /** The plan's own copy of the run configuration. */
+    const RunConfig &config() const { return _cfg; }
+
+    /** Total task count (mechanisms x benchmarks). */
+    std::size_t size() const { return _tasks.size(); }
+    bool empty() const { return _tasks.empty(); }
+
+    const PlanTask &task(std::size_t index) const
+    {
+        return _tasks[index];
+    }
+
+    /** fingerprintConfig(config()), hashed once at construction. */
+    std::uint64_t configHash() const { return _config_hash; }
+
+    /** The trace-cache key of benchmark column @p b. */
+    const std::string &traceKey(std::size_t b) const
+    {
+        return _trace_keys[b];
+    }
+
+    /** The result-store identity of task @p index. */
+    ResultKey resultKey(std::size_t index) const;
+
+    /** A MatrixResult with every slot allocated (and indices built)
+     *  for this plan — the frame tasks write into. */
+    MatrixResult emptyResult() const;
+
+    /** Stable shard assignment: task @p index belongs to shard
+     *  (@p index mod @p shard.count). */
+    static bool
+    inShard(std::size_t index, const ShardSpec &shard)
+    {
+        return shard.whole() || index % shard.count == shard.index;
+    }
+
+    /** Indices of every task in @p shard, in plan order. Shards
+     *  0..N-1 partition the plan: disjoint and exhaustive. */
+    std::vector<std::size_t> shardTasks(const ShardSpec &shard) const;
+
+    /** Indices of every task still to execute — not marked in
+     *  @p done and inside @p shard — in plan order. The single
+     *  source of truth for "what does this process run": backends,
+     *  skip accounting and progress reporting must all agree with
+     *  it. */
+    std::vector<std::size_t>
+    pendingTasks(const std::vector<char> &done,
+                 const ShardSpec &shard) const;
+
+    /**
+     * Resume pre-fill: for every task whose fingerprinted record
+     * exists in @p store, copy the record into its MatrixResult slot
+     * and set done[index]. @p done must have size() entries; already-
+     * done tasks are left alone. Returns the number of tasks filled
+     * by this call.
+     */
+    std::size_t prefill(const ResultStore &store, MatrixResult &res,
+                        std::vector<char> &done) const;
+
+    /**
+     * Per-benchmark count of tasks still to execute: not marked in
+     * @p done and inside @p shard. Execution backends use this as the
+     * trace refcount — a benchmark's trace becomes evictable exactly
+     * when its count drains to zero, and a benchmark whose count
+     * starts at zero is never materialized at all.
+     */
+    std::vector<std::size_t>
+    pendingPerBenchmark(const std::vector<char> &done,
+                        const ShardSpec &shard) const;
+
+    /** One human/machine-readable line describing task @p index (the
+     *  `microlib_sweep --plan` output format). */
+    std::string describe(std::size_t index,
+                         const ShardSpec &shard) const;
+
+  private:
+    std::vector<std::string> _mechanisms;
+    std::vector<std::string> _benchmarks;
+    RunConfig _cfg;
+    std::uint64_t _config_hash = 0;
+    std::vector<std::string> _trace_keys;
+    std::vector<PlanTask> _tasks;
+};
+
+/**
+ * Trace-cache key for (@p benchmark, @p cfg): the benchmark name plus
+ * the canonical window description (windowKey), i.e. everything a
+ * materialized trace depends on. Shared by the engine, the plan and
+ * the result-store fingerprint so "same window" means one thing.
+ */
+std::string traceCacheKey(const std::string &benchmark,
+                          const RunConfig &cfg);
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_TASK_PLAN_HH

@@ -63,6 +63,19 @@ class TraceSoA
     std::size_t size() const { return _op.size(); }
     bool empty() const { return _op.empty(); }
 
+    /** Heap bytes held by the parallel arrays (trace-cache byte
+     *  budget accounting). */
+    std::size_t
+    footprintBytes() const
+    {
+        return _pc.capacity() * sizeof(std::uint32_t) +
+               _addr.capacity() * sizeof(std::uint32_t) +
+               _value.capacity() * sizeof(Word) +
+               _op.capacity() * sizeof(OpClass) +
+               _dep1.capacity() * sizeof(std::uint8_t) +
+               _dep2.capacity() * sizeof(std::uint8_t);
+    }
+
   private:
     std::vector<std::uint32_t> _pc;
     std::vector<std::uint32_t> _addr;

@@ -42,6 +42,25 @@ struct MaterializedTrace
 
     /** Span bundle for the simulation hot loop. */
     TraceView view() const { return soa.view(); }
+
+    /**
+     * Estimated resident bytes: AoS records + SoA arrays + the
+     * memory image's allocated pages. The trace cache charges this
+     * against its byte budget (MICROLIB_TRACE_BUDGET_MB); an
+     * estimate is fine — the budget bounds memory, it does not
+     * account it to the byte.
+     */
+    std::size_t
+    footprintBytes() const
+    {
+        std::size_t bytes = sizeof(*this);
+        bytes += records.capacity() * sizeof(TraceRecord);
+        bytes += soa.footprintBytes();
+        if (image)
+            bytes += image->allocatedPages() *
+                     (MemoryImage::page_bytes + 64);
+        return bytes;
+    }
 };
 
 /**

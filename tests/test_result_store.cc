@@ -258,6 +258,20 @@ TEST(ResultStore, MergesByConcatenation)
         std::remove(p.c_str());
 }
 
+TEST(ResultStore, MergeRefusesItsOwnBackingFile)
+{
+    // put() appends to the backing file while merge() is still
+    // reading it, so a self-merge would chase its own tail forever
+    // (and fill the disk). Must refuse and leave the store intact.
+    const std::string path = tmpPath("self_merge.store");
+    std::remove(path.c_str());
+    ResultStore store(path);
+    store.put(sampleRecord());
+    EXPECT_EQ(store.merge(path), 0u);
+    EXPECT_EQ(store.size(), 1u);
+    std::remove(path.c_str());
+}
+
 TEST(ResultStore, DuplicateKeyLastWins)
 {
     const std::string path = tmpPath("dup.store");

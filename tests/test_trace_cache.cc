@@ -157,3 +157,68 @@ TEST(TraceCache, DistinctKeysDistinctEntries)
     cache.get("b", [] { return smallTrace("swim"); });
     EXPECT_EQ(cache.traceCount(), 2u);
 }
+
+TEST(TraceCache, UnlimitedBudgetRetainsEverything)
+{
+    TraceCache cache;
+    cache.get("a", [] { return smallTrace("swim"); });
+    cache.get("b", [] { return smallTrace("gzip"); });
+    EXPECT_EQ(cache.byteBudget(), 0u);
+    EXPECT_EQ(cache.traceCount(), 2u);
+    EXPECT_GT(cache.residentBytes(), 0u);
+}
+
+TEST(TraceCache, BudgetEvictsLeastRecentlyUsedUnpinned)
+{
+    TraceCache cache;
+    // One benchmark under three keys: identical footprints make the
+    // budget arithmetic exact.
+    cache.get("a", [] { return smallTrace("swim"); });
+    const std::size_t one_trace = cache.residentBytes();
+    ASSERT_GT(one_trace, 0u);
+    cache.get("b", [] { return smallTrace("swim"); });
+    cache.get("c", [] { return smallTrace("swim"); });
+
+    // Touch "a" so "b" becomes the LRU entry, then budget down to
+    // roughly two traces: exactly "b" must go.
+    TraceCache::Future fut;
+    EXPECT_EQ(cache.claim("a", fut), TraceCache::Claim::Ready);
+    cache.setByteBudget(2 * one_trace + one_trace / 2);
+    EXPECT_EQ(cache.traceCount(), 2u);
+    EXPECT_TRUE(cache.ready("a"));
+    EXPECT_FALSE(cache.ready("b"));
+    EXPECT_TRUE(cache.ready("c"));
+}
+
+TEST(TraceCache, PinnedTracesSurviveAnyBudget)
+{
+    TraceCache cache;
+    cache.pin("a"); // pins may precede the entry itself
+    cache.get("a", [] { return smallTrace("swim"); });
+    cache.get("b", [] { return smallTrace("gzip"); });
+    cache.setByteBudget(1); // absurdly small: evict all it may
+    EXPECT_TRUE(cache.ready("a"));  // pinned: untouchable
+    EXPECT_FALSE(cache.ready("b")); // unpinned: gone
+    // Unpinning releases "a" to the budget too.
+    cache.unpin("a");
+    EXPECT_EQ(cache.traceCount(), 0u);
+    EXPECT_EQ(cache.residentBytes(), 0u);
+}
+
+TEST(TraceCache, BudgetEvictionIsCorrectnessNeutral)
+{
+    // An evicted trace re-materializes identically: budget pressure
+    // trades time, never results.
+    TraceCache cache;
+    auto make = [] { return smallTrace("swim"); };
+    const auto first = cache.get("k", make);
+    cache.setByteBudget(1);
+    EXPECT_EQ(cache.traceCount(), 0u);
+    cache.setByteBudget(0);
+    const auto again = cache.get("k", make);
+    ASSERT_EQ(first->records.size(), again->records.size());
+    for (std::size_t i = 0; i < first->records.size(); ++i) {
+        EXPECT_EQ(first->records[i].pc, again->records[i].pc);
+        EXPECT_EQ(first->records[i].addr, again->records[i].addr);
+    }
+}

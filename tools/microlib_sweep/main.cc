@@ -1,0 +1,355 @@
+/**
+ * @file
+ * microlib_sweep: the sweep driver cluster launchers call.
+ *
+ * Describes a (benchmark x mechanism) sweep as a deterministic
+ * TaskPlan and either prints it (--plan), runs it — whole, as one
+ * shard (--shard i/N), or fanned out over forked shard workers
+ * (--backend process) — or merges per-shard result stores
+ * (--merge). Because every process that builds the same plan agrees
+ * on task indices and fingerprints, disjoint shards can run on
+ * separate hosts against separate stores and be concatenated into a
+ * result byte-identical to a single-process run:
+ *
+ *   # one host, the reference
+ *   microlib_sweep $M --store single.store --report single.txt
+ *
+ *   # two hosts, then combine
+ *   microlib_sweep $M --shard 0/2 --store s0.store
+ *   microlib_sweep $M --shard 1/2 --store s1.store
+ *   microlib_sweep $M --store merged.store \
+ *       --merge s0.store s1.store --report merged.txt
+ *   diff single.txt merged.txt        # byte-identical
+ *
+ * A rerun against an existing store resumes: only missing tasks
+ * execute (a killed shard picks up exactly where it died). See
+ * docs/SHARDING.md for the full walkthrough.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/process_shard_backend.hh"
+#include "core/registry.hh"
+#include "core/result_store.hh"
+#include "core/scheduler.hh"
+#include "core/task_plan.hh"
+#include "trace/spec_suite.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+struct SweepArgs
+{
+    std::vector<std::string> benchmarks = {"swim", "gzip", "mcf",
+                                           "crafty"};
+    std::vector<std::string> mechanisms; // empty = all (Base + 12)
+    std::uint64_t trace_length = 500'000;
+    std::uint64_t interval = 0; // 0 = trace_length
+    bool arbitrary = false;
+    std::uint64_t arb_skip = 0;
+    std::uint64_t arb_length = 0;
+    unsigned threads = 0;
+    ShardSpec shard;
+    std::string store_path;
+    std::string progress_path;
+    std::string report_path; // "-" = stdout
+    std::size_t trace_budget_mb = 0;
+    bool use_process_backend = false;
+    std::size_t process_shards = 2;
+    bool print_plan = false;
+    bool do_report = false;
+    bool verbose = false;
+    std::vector<std::string> merge_inputs;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options] [--merge STORE...]\n"
+        "\n"
+        "Sweep description (must be identical across shards):\n"
+        "  --bench LIST        comma-separated benchmarks, or 'all'\n"
+        "                      (default: swim,gzip,mcf,crafty)\n"
+        "  --mech LIST         comma-separated mechanisms, or 'all'\n"
+        "                      (default: all = Base + 12 mechanisms)\n"
+        "  --trace N           SimPoint window length (default 500000)\n"
+        "  --interval N        SimPoint interval (default: --trace)\n"
+        "  --arbitrary S,L     arbitrary window: skip S, length L\n"
+        "\n"
+        "Execution:\n"
+        "  --store PATH        append-only result store (resume +\n"
+        "                      shard hand-off)\n"
+        "  --shard I/N         run only tasks with index %% N == I\n"
+        "  --backend process   fork shard workers in this invocation\n"
+        "  --shards N          worker count for --backend process\n"
+        "                      (default 2)\n"
+        "  --threads N         engine worker threads (default:\n"
+        "                      MICROLIB_THREADS or hardware)\n"
+        "  --trace-budget-mb N trace-cache byte budget\n"
+        "  --progress PATH     JSONL progress stream (per shard:\n"
+        "                      PATH.shard<i>)\n"
+        "  --verbose           per-run progress lines\n"
+        "\n"
+        "Modes:\n"
+        "  --plan              print the fingerprinted task list and\n"
+        "                      exit (no simulation)\n"
+        "  --merge STORE...    merge the given store files into\n"
+        "                      --store before anything else runs\n"
+        "  --report [PATH]     write the IPC matrix report (stdout\n"
+        "                      if PATH is omitted or '-')\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::uint64_t
+parseU64(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: not a number: %s\n", flag,
+                     value.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+/**
+ * Deterministic matrix report: fixed-width, fixed-precision, no
+ * timestamps or host names — so a sharded-and-merged sweep's report
+ * can be `diff`ed byte-for-byte against a single-process run's.
+ */
+void
+writeReport(std::FILE *out, const MatrixResult &res)
+{
+    std::fprintf(out, "# microlib_sweep IPC matrix (%zu mechanism(s) "
+                      "x %zu benchmark(s))\n",
+                 res.mechanisms.size(), res.benchmarks.size());
+    std::fprintf(out, "%-8s", "");
+    for (const auto &b : res.benchmarks)
+        std::fprintf(out, "%12s", b.c_str());
+    std::fprintf(out, "\n");
+    for (std::size_t m = 0; m < res.mechanisms.size(); ++m) {
+        std::fprintf(out, "%-8s", res.mechanisms[m].c_str());
+        for (std::size_t b = 0; b < res.benchmarks.size(); ++b)
+            std::fprintf(out, "%12.6f", res.ipc[m][b]);
+        std::fprintf(out, "\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepArgs args;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&](const char *name) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", name);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--help" || flag == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (flag == "--bench") {
+            const std::string v = value("--bench");
+            args.benchmarks =
+                v == "all" ? specBenchmarkNames() : splitList(v);
+        } else if (flag == "--mech") {
+            const std::string v = value("--mech");
+            args.mechanisms =
+                v == "all" ? allMechanismNames() : splitList(v);
+        } else if (flag == "--trace") {
+            args.trace_length = parseU64("--trace", value("--trace"));
+        } else if (flag == "--interval") {
+            args.interval = parseU64("--interval", value("--interval"));
+        } else if (flag == "--arbitrary") {
+            const auto parts = splitList(value("--arbitrary"));
+            if (parts.size() != 2) {
+                std::fprintf(stderr, "--arbitrary wants S,L\n");
+                return 2;
+            }
+            args.arbitrary = true;
+            args.arb_skip = parseU64("--arbitrary", parts[0]);
+            args.arb_length = parseU64("--arbitrary", parts[1]);
+        } else if (flag == "--threads") {
+            args.threads = static_cast<unsigned>(
+                parseU64("--threads", value("--threads")));
+        } else if (flag == "--shard") {
+            if (!ShardSpec::parse(value("--shard"), args.shard)) {
+                std::fprintf(stderr,
+                             "--shard wants I/N with 0 <= I < N\n");
+                return 2;
+            }
+        } else if (flag == "--store") {
+            args.store_path = value("--store");
+        } else if (flag == "--progress") {
+            args.progress_path = value("--progress");
+        } else if (flag == "--trace-budget-mb") {
+            args.trace_budget_mb = static_cast<std::size_t>(parseU64(
+                "--trace-budget-mb", value("--trace-budget-mb")));
+        } else if (flag == "--backend") {
+            const std::string v = value("--backend");
+            if (v == "process") {
+                args.use_process_backend = true;
+            } else if (v != "thread") {
+                std::fprintf(stderr,
+                             "--backend wants 'thread' or 'process'\n");
+                return 2;
+            }
+        } else if (flag == "--shards") {
+            args.process_shards = static_cast<std::size_t>(
+                parseU64("--shards", value("--shards")));
+        } else if (flag == "--plan") {
+            args.print_plan = true;
+        } else if (flag == "--verbose") {
+            args.verbose = true;
+        } else if (flag == "--report") {
+            args.do_report = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                args.report_path = argv[++i];
+        } else if (flag == "--merge") {
+            while (i + 1 < argc && argv[i + 1][0] != '-')
+                args.merge_inputs.push_back(argv[++i]);
+            if (args.merge_inputs.empty()) {
+                std::fprintf(stderr,
+                             "--merge wants store file(s)\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (args.mechanisms.empty())
+        args.mechanisms = allMechanismNames();
+
+    RunConfig cfg;
+    if (args.arbitrary) {
+        cfg.selection = TraceSelection::Arbitrary;
+        cfg.scale.arbitrary_skip = args.arb_skip;
+        cfg.scale.arbitrary_length = args.arb_length;
+    } else {
+        cfg.scale.simpoint_trace = args.trace_length;
+        cfg.scale.simpoint_interval =
+            args.interval ? args.interval : args.trace_length;
+    }
+
+    const TaskPlan plan(args.mechanisms, args.benchmarks, cfg);
+
+    if (args.print_plan) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            std::printf("%s\n",
+                        plan.describe(i, args.shard).c_str());
+        return 0;
+    }
+
+    if ((args.use_process_backend || !args.merge_inputs.empty()) &&
+        args.store_path.empty()) {
+        std::fprintf(stderr, "--backend process and --merge need "
+                             "--store\n");
+        return 2;
+    }
+
+    std::unique_ptr<ResultStore> store;
+    if (!args.store_path.empty())
+        store = std::make_unique<ResultStore>(args.store_path);
+
+    if (!args.merge_inputs.empty()) {
+        std::size_t merged = 0;
+        for (const auto &input : args.merge_inputs)
+            merged += store->merge(input);
+        std::printf("merged %zu record(s) from %zu store(s) into %s "
+                    "(%zu total)\n",
+                    merged, args.merge_inputs.size(),
+                    args.store_path.c_str(), store->size());
+    }
+
+    EngineOptions opts;
+    opts.threads = args.threads;
+    opts.verbose = args.verbose;
+    opts.store = store.get();
+    opts.shard = args.shard;
+    opts.progress_path = args.progress_path;
+    opts.trace_budget_bytes = args.trace_budget_mb * 1024 * 1024;
+
+    ProcessShardBackend process_backend(
+        ProcessShardOptions{args.process_shards, args.threads, false});
+    if (args.use_process_backend) {
+        opts.backend = &process_backend;
+        // The parent only forks, waits and merges: a worker pool
+        // would sit idle, and fork() from a single-threaded parent
+        // sidesteps the multithreaded-fork hazards entirely.
+        // --threads applies to each shard worker instead.
+        opts.threads = 1;
+    }
+
+    ExperimentEngine engine(opts);
+    const MatrixResult res = engine.run(args.mechanisms,
+                                        args.benchmarks, cfg);
+    const RunCounters counts = engine.lastRun();
+    std::printf("sweep %s: %zu task(s): executed %zu, resumed %zu, "
+                "skipped-by-shard %zu\n",
+                args.shard.whole()
+                    ? (args.use_process_backend ? "(process shards)"
+                                                : "(whole plan)")
+                    : ("shard " + args.shard.str()).c_str(),
+                plan.size(), counts.executed, counts.resumed,
+                counts.skipped);
+
+    if (args.do_report) {
+        if (!args.shard.whole())
+            std::fprintf(stderr,
+                         "warning: report of a single shard run — "
+                         "slots of other shards are empty\n");
+        if (args.report_path.empty() || args.report_path == "-") {
+            writeReport(stdout, res);
+        } else {
+            std::FILE *f = std::fopen(args.report_path.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             args.report_path.c_str());
+                return 1;
+            }
+            writeReport(f, res);
+            std::fclose(f);
+            std::printf("report written to %s\n",
+                        args.report_path.c_str());
+        }
+    }
+    return 0;
+}

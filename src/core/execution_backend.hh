@@ -69,15 +69,16 @@ class ExecutionBackend
 
     /**
      * Execute every task of @p plan not marked in @p done (resumed
-     * slots), writing each result into its pre-assigned slot of
-     * @p res and persisting it through ctx.opts.store when attached.
-     * @p counters arrives with `resumed` already set; the backend
-     * adds `executed` and `skipped`. Throws on the first task
-     * failure after all in-flight work has come home.
+     * slots), writing each result into its pre-assigned slot of its
+     * variant's matrix in @p res and persisting it through
+     * ctx.opts.store when attached. @p counters arrives with
+     * `resumed` already set; the backend adds `executed` and
+     * `skipped`. Throws on the first task failure after all
+     * in-flight work has come home.
      */
     virtual void execute(const TaskPlan &plan,
                          const std::vector<char> &done,
-                         const ExecutionContext &ctx, MatrixResult &res,
+                         const ExecutionContext &ctx, SweepResult &res,
                          RunCounters &counters) = 0;
 };
 

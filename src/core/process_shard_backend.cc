@@ -55,7 +55,7 @@ runShardWorker(const TaskPlan &plan, const std::vector<char> &done,
         // record the parent store already held are never re-run
         // here. On top of that, resume from this shard's own store —
         // a previously killed worker left exactly those records.
-        MatrixResult res = plan.emptyResult();
+        SweepResult res = plan.emptyResult();
         std::vector<char> worker_done = done;
         RunCounters counters;
         counters.resumed =
@@ -146,7 +146,7 @@ void
 ProcessShardBackend::execute(const TaskPlan &plan,
                              const std::vector<char> &done,
                              const ExecutionContext &ctx,
-                             MatrixResult &res, RunCounters &counters)
+                             SweepResult &res, RunCounters &counters)
 {
     ResultStore *store = ctx.opts.store;
     if (!store || store->path().empty())

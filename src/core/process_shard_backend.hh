@@ -17,8 +17,9 @@
  *
  * Because every record round-trips bit-exactly (hexfloat text) and
  * every task's slot is pre-assigned by the plan, the merged
- * MatrixResult is byte-identical to a single-process run of the same
- * plan — sharding is a wall-clock strategy, never a results change.
+ * SweepResult is byte-identical to a single-process run of the same
+ * plan — whatever the variant count; sharding is a wall-clock
+ * strategy, never a results change.
  *
  * The same partitioning runs across hosts with no fork at all: each
  * host runs `microlib_sweep --shard i/N --store <own store>` and the
@@ -62,7 +63,7 @@ class ProcessShardBackend : public ExecutionBackend
     const char *name() const override { return "process-shard"; }
 
     void execute(const TaskPlan &plan, const std::vector<char> &done,
-                 const ExecutionContext &ctx, MatrixResult &res,
+                 const ExecutionContext &ctx, SweepResult &res,
                  RunCounters &counters) override;
 
     /** The store path shard @p index of @p count appends to, derived

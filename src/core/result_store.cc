@@ -1,9 +1,11 @@
 #include "core/result_store.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "sim/fingerprint.hh"
 #include "sim/logging.hh"
@@ -349,6 +351,50 @@ std::size_t
 ResultStore::size() const
 {
     std::lock_guard<std::mutex> lock(_mu);
+    return _records.size();
+}
+
+std::size_t
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (_path.empty())
+        return _records.size(); // memory-only: already one per key
+
+    // Sorted key order: the compacted file is a pure function of the
+    // record set, so differently-assembled stores with equal records
+    // compact byte-identically (and diff cleanly).
+    std::vector<const std::string *> keys;
+    keys.reserve(_records.size());
+    for (const auto &kv : _records)
+        keys.push_back(&kv.first);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string *a, const std::string *b)
+              { return *a < *b; });
+
+    const std::string tmp = _path + ".compact.tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("result store compact: cannot write ", tmp);
+        for (const std::string *k : keys)
+            out << formatRecord(_records.at(*k)) << '\n';
+        out.flush();
+        if (!out)
+            fatal("result store compact: write to ", tmp, " failed");
+    }
+
+    // Swap the compacted file in atomically, then reopen the append
+    // stream on it: later put() calls extend the compacted file.
+    _append.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp, _path, ec);
+    if (ec)
+        fatal("result store compact: cannot replace ", _path, ": ",
+              ec.message());
+    _append.open(_path, std::ios::app);
+    if (!_append)
+        fatal("result store compact: cannot reopen ", _path);
     return _records.size();
 }
 

@@ -151,6 +151,21 @@ class ResultStore
      */
     std::size_t merge(const std::string &input_path);
 
+    /**
+     * Rewrite the backing file to exactly one record per key — the
+     * in-memory (last-wins) view — in sorted key order, dropping the
+     * duplicate lines that merges and reruns accumulate and any
+     * unreadable lines loadFile() skipped. The rewrite goes through
+     * a temporary file renamed into place, so a crash mid-compact
+     * leaves either the old or the new file, never a torn one. The
+     * sorted order makes a compacted store a pure function of its
+     * record set: two stores holding the same records compact to
+     * byte-identical files, however differently they were built.
+     * A memory-only store compacts trivially. Returns the number of
+     * records in the compacted store.
+     */
+    std::size_t compact();
+
     const std::string &path() const { return _path; }
 
     /** Serialize @p rec as one store line (no trailing newline). */

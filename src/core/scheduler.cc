@@ -101,19 +101,27 @@ ExperimentEngine::trace(const std::string &benchmark,
     return fut.get();
 }
 
+SweepResult
+ExperimentEngine::run(const SweepSpec &spec)
+{
+    return runPlan(TaskPlan(spec));
+}
+
 MatrixResult
 ExperimentEngine::run(const std::vector<std::string> &mechanisms,
                       const std::vector<std::string> &benchmarks,
                       const RunConfig &cfg)
 {
-    return runPlan(TaskPlan(mechanisms, benchmarks, cfg));
+    SweepResult res =
+        runPlan(TaskPlan(mechanisms, benchmarks, cfg));
+    return std::move(res.matrices.front());
 }
 
-MatrixResult
+SweepResult
 ExperimentEngine::runPlan(const TaskPlan &plan)
 {
     _last = RunCounters{};
-    MatrixResult res = plan.emptyResult();
+    SweepResult res = plan.emptyResult();
     if (plan.empty())
         return res;
 
@@ -151,7 +159,8 @@ ExperimentEngine::runPlan(const TaskPlan &plan)
                            .field("benchmarks",
                                   plan.benchmarks().size())
                            .field("mechanisms",
-                                  plan.mechanisms().size()));
+                                  plan.mechanisms().size())
+                           .field("variants", plan.variantCount()));
     }
 
     backend->execute(plan, done, ctx, res, _last);

@@ -1,16 +1,18 @@
 /**
  * @file
- * ExperimentEngine: the matrix-wide experiment driver.
+ * ExperimentEngine: the sweep-wide experiment driver.
  *
- * A sweep is described by a TaskPlan (core/task_plan.hh): the
- * deterministic, fingerprinted enumeration of every (benchmark,
- * mechanism) task with its stable index and pre-assigned result
- * slot. The engine is the facade that ties a plan to an execution
- * strategy:
+ * A sweep is described declaratively by a SweepSpec
+ * (core/sweep_spec.hh): benchmarks x mechanisms x config variants
+ * expanded from declared axes. A TaskPlan (core/task_plan.hh) turns
+ * the spec into the deterministic, fingerprinted enumeration of every
+ * (benchmark, mechanism, variant) task with its stable index and
+ * pre-assigned result slot. The engine is the facade that ties a
+ * plan to an execution strategy:
  *
- *   run() = build TaskPlan
- *         + pre-fill resumed slots from the ResultStore (plan logic)
- *         + hand the pending tasks to an ExecutionBackend
+ *   run(spec) = build TaskPlan
+ *             + pre-fill resumed slots from the ResultStore
+ *             + hand the pending tasks to an ExecutionBackend
  *
  * The default backend is ThreadPoolBackend (the in-process drain
  * loop over the engine's persistent worker pool); EngineOptions can
@@ -21,10 +23,10 @@
  * cluster-scale sweeps.
  *
  * Determinism contract, regardless of backend, worker count or shard
- * count: every task writes its pre-assigned (m, b) slot of
- * MatrixResult with a result that is a pure function of the plan, so
- * the matrix is bit-identical for any MICROLIB_THREADS value and for
- * any shard partitioning whose stores are merged back together.
+ * count: every task writes its pre-assigned (m, b, variant) slot of
+ * the SweepResult with a result that is a pure function of the plan,
+ * so the result is bit-identical for any MICROLIB_THREADS value and
+ * for any shard partitioning whose stores are merged back together.
  * Scheduling affects wall-clock only, never results.
  *
  * The engine outlives individual matrices; traces (and SimPoint
@@ -121,10 +123,19 @@ class ExperimentEngine
     ExperimentEngine &operator=(const ExperimentEngine &) = delete;
 
     /**
-     * Run the full @p mechanisms x @p benchmarks matrix under
-     * @p cfg. Results land in deterministic (m, b) slots regardless
-     * of backend, worker count or scheduling order. Not reentrant:
-     * one run() at a time per engine.
+     * Run the sweep @p spec describes: benchmarks x mechanisms x
+     * config variants. The primary entry point — every result lands
+     * in its deterministic (m, b, variant) slot regardless of
+     * backend, worker count or scheduling order. Not reentrant: one
+     * run() at a time per engine.
+     */
+    SweepResult run(const SweepSpec &spec);
+
+    /**
+     * Classic two-vector form: the full @p mechanisms x @p benchmarks
+     * matrix under the single configuration @p cfg. A thin wrapper
+     * over run(SweepSpec::single(...)) returning the one variant's
+     * matrix; kept for the figure harnesses and one-config studies.
      */
     MatrixResult run(const std::vector<std::string> &mechanisms,
                      const std::vector<std::string> &benchmarks,
@@ -132,7 +143,7 @@ class ExperimentEngine
 
     /** Run an already-built @p plan (shared by callers that also
      *  print or shard it). Same contract as run(). */
-    MatrixResult runPlan(const TaskPlan &plan);
+    SweepResult runPlan(const TaskPlan &plan);
 
     /**
      * The cached trace for (@p benchmark, @p cfg), materializing it

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/result_store.hh"
 #include "sim/fingerprint.hh"
@@ -50,25 +51,59 @@ traceCacheKey(const std::string &benchmark, const RunConfig &cfg)
     return key;
 }
 
+TaskPlan::TaskPlan(const SweepSpec &spec)
+    : _spec(spec), _mechanisms(spec.mechanisms()),
+      _benchmarks(spec.benchmarks())
+{
+    // Resolve every variant once: config, fingerprint, display name.
+    const std::vector<ConfigVariant> variants = _spec.variants();
+    _variant_names.reserve(variants.size());
+    _cfgs.reserve(variants.size());
+    _config_hashes.reserve(variants.size());
+    for (const auto &v : variants) {
+        _variant_names.push_back(v.name);
+        _cfgs.push_back(_spec.resolve(v));
+        _config_hashes.push_back(fingerprintConfig(_cfgs.back()));
+    }
+
+    // Trace slots: unique (benchmark, window) pairs. Variants that
+    // leave the window untouched map to one slot, so the backends
+    // materialize (and refcount) each shared trace exactly once.
+    const std::size_t V = _cfgs.size();
+    _task_slot.resize(_benchmarks.size() * V);
+    std::unordered_map<std::string, std::size_t> slot_of;
+    for (std::size_t b = 0; b < _benchmarks.size(); ++b) {
+        for (std::size_t v = 0; v < V; ++v) {
+            std::string key = traceCacheKey(_benchmarks[b], _cfgs[v]);
+            auto it = slot_of.find(key);
+            if (it == slot_of.end()) {
+                it = slot_of.emplace(key, _slot_keys.size()).first;
+                _slot_keys.push_back(std::move(key));
+            }
+            _task_slot[b * V + v] = it->second;
+        }
+    }
+
+    // Canonical order: benchmark varies slowest, then variant, then
+    // mechanism — one benchmark's tasks (all variants) are contiguous
+    // so its trace(s) can be dropped soon after its block drains, and
+    // a one-variant plan reduces to the historic b * M + m indices.
+    // The flat index IS the slot assignment and the shard unit;
+    // nothing about execution may change it.
+    _tasks.reserve(_mechanisms.size() * _benchmarks.size() * V);
+    for (std::size_t b = 0; b < _benchmarks.size(); ++b)
+        for (std::size_t v = 0; v < V; ++v)
+            for (std::size_t m = 0; m < _mechanisms.size(); ++m)
+                _tasks.push_back(
+                    {(b * V + v) * _mechanisms.size() + m, m, b, v});
+}
+
 TaskPlan::TaskPlan(std::vector<std::string> mechanisms,
                    std::vector<std::string> benchmarks,
                    const RunConfig &cfg)
-    : _mechanisms(std::move(mechanisms)),
-      _benchmarks(std::move(benchmarks)), _cfg(cfg),
-      _config_hash(fingerprintConfig(cfg))
+    : TaskPlan(SweepSpec::single(std::move(mechanisms),
+                                 std::move(benchmarks), cfg))
 {
-    _trace_keys.reserve(_benchmarks.size());
-    for (const auto &b : _benchmarks)
-        _trace_keys.push_back(traceCacheKey(b, _cfg));
-
-    // Canonical order: benchmark varies slowest, so one benchmark's
-    // tasks are contiguous and its trace can be dropped soon after
-    // its block drains. The flat index IS the slot assignment and
-    // the shard unit; nothing about execution may change it.
-    _tasks.reserve(_mechanisms.size() * _benchmarks.size());
-    for (std::size_t b = 0; b < _benchmarks.size(); ++b)
-        for (std::size_t m = 0; m < _mechanisms.size(); ++m)
-            _tasks.push_back({b * _mechanisms.size() + m, m, b});
 }
 
 ResultKey
@@ -76,20 +111,26 @@ TaskPlan::resultKey(std::size_t index) const
 {
     const PlanTask &t = _tasks[index];
     return makeResultKey(_benchmarks[t.b], _mechanisms[t.m],
-                         _config_hash);
+                         _config_hashes[t.v]);
 }
 
-MatrixResult
+SweepResult
 TaskPlan::emptyResult() const
 {
-    MatrixResult res;
-    res.mechanisms = _mechanisms;
-    res.benchmarks = _benchmarks;
-    res.ipc.assign(_mechanisms.size(),
-                   std::vector<double>(_benchmarks.size(), 0.0));
-    res.outputs.assign(_mechanisms.size(),
-                       std::vector<RunOutput>(_benchmarks.size()));
-    res.buildIndices();
+    SweepResult res;
+    res.variants = _variant_names;
+    res.matrices.reserve(variantCount());
+    for (std::size_t v = 0; v < variantCount(); ++v) {
+        MatrixResult m;
+        m.mechanisms = _mechanisms;
+        m.benchmarks = _benchmarks;
+        m.ipc.assign(_mechanisms.size(),
+                     std::vector<double>(_benchmarks.size(), 0.0));
+        m.outputs.assign(_mechanisms.size(),
+                         std::vector<RunOutput>(_benchmarks.size()));
+        m.buildIndices();
+        res.matrices.push_back(std::move(m));
+    }
     return res;
 }
 
@@ -115,7 +156,7 @@ TaskPlan::pendingTasks(const std::vector<char> &done,
 }
 
 std::size_t
-TaskPlan::prefill(const ResultStore &store, MatrixResult &res,
+TaskPlan::prefill(const ResultStore &store, SweepResult &res,
                   std::vector<char> &done) const
 {
     std::size_t filled = 0;
@@ -127,12 +168,24 @@ TaskPlan::prefill(const ResultStore &store, MatrixResult &res,
         if (!rec)
             continue;
         const PlanTask &t = _tasks[i];
-        res.ipc[t.m][t.b] = rec->core.ipc;
-        res.outputs[t.m][t.b] = toRunOutput(*rec);
+        MatrixResult &m = res.matrix(t.v);
+        m.ipc[t.m][t.b] = rec->core.ipc;
+        m.outputs[t.m][t.b] = toRunOutput(*rec);
         done[i] = 1;
         ++filled;
     }
     return filled;
+}
+
+std::vector<std::size_t>
+TaskPlan::pendingPerTraceSlot(const std::vector<char> &done,
+                              const ShardSpec &shard) const
+{
+    std::vector<std::size_t> counts(traceSlotCount(), 0);
+    for (std::size_t i = 0; i < _tasks.size(); ++i)
+        if (!done[i] && inShard(i, shard))
+            ++counts[traceSlot(i)];
+    return counts;
 }
 
 std::vector<std::size_t>
@@ -157,6 +210,7 @@ TaskPlan::describe(std::size_t index, const ShardSpec &shard) const
        << (shard.whole() ? 1 : shard.count)
        << " bench=" << _benchmarks[t.b]
        << " mech=" << _mechanisms[t.m]
+       << " variant=" << _variant_names[t.v]
        << " fp=" << Fingerprint::hexOf(key.config_hash)
        << " seed=" << key.trace_seed;
     return os.str();

@@ -3,24 +3,35 @@
  * TaskPlan: the deterministic description of a sweep, independent of
  * how (or where) it executes.
  *
- * A sweep is a (benchmark x mechanism) matrix under one RunConfig.
- * The plan enumerates every task of that matrix in one canonical
- * order (benchmark varies slowest, so one benchmark's tasks are
- * contiguous), assigns each task its stable flat index and its
- * pre-assigned MatrixResult slot, and fingerprints it with the same
- * ResultKey the result store uses. Because the enumeration is a pure
- * function of (mechanisms, benchmarks, config), every process that
- * builds the plan — a single-host run, each shard of a multi-process
- * sweep, a cluster launcher printing the task list — agrees on task
- * indices, slots and fingerprints without any communication.
+ * A sweep is described by a SweepSpec: (benchmark x mechanism x
+ * config variant), the variants being the expansion of the spec's
+ * declared axes (core/sweep_spec.hh). The plan enumerates every task
+ * of that cube in one canonical order (benchmark slowest, then
+ * variant, then mechanism, so the tasks sharing a benchmark's trace
+ * stay contiguous), assigns each task its stable flat index and its
+ * pre-assigned SweepResult slot, and fingerprints it with the same
+ * ResultKey the result store uses — each variant's key hashes that
+ * variant's fully resolved configuration, so variants can never
+ * collide. Because the enumeration is a pure function of the spec,
+ * every process that builds the plan — a single-host run, each shard
+ * of a multi-process sweep, a cluster launcher printing the task
+ * list — agrees on task indices, slots and fingerprints without any
+ * communication.
  *
  * That agreement is what makes sharding trivial: shard i of N is
  * simply the tasks whose index is congruent to i mod N, shard stores
- * merge by concatenation, and the merged matrix is bit-identical to a
+ * merge by concatenation, and the merged result is bit-identical to a
  * single-process run because every task writes the same slot with the
  * same fingerprinted result no matter which process ran it.
  *
- * The plan also owns the resume logic: prefill() fills every matrix
+ * Variants that leave the trace window untouched share a benchmark's
+ * materialized trace: the plan groups tasks into *trace slots* —
+ * unique (benchmark, window) pairs — and execution backends refcount
+ * those slots, so a window shared by eight L2-size variants is
+ * materialized exactly once and released when the last of them
+ * drains.
+ *
+ * The plan also owns the resume logic: prefill() fills every result
  * slot whose record already exists in a ResultStore and marks the
  * task done, so execution backends only ever see the missing tasks.
  */
@@ -33,6 +44,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/sweep_spec.hh"
 
 namespace microlib
 {
@@ -56,22 +68,29 @@ struct ShardSpec
     static bool parse(const std::string &text, ShardSpec &out);
 };
 
-/** One task of the plan: a (mechanism, benchmark) cell with its
- *  stable index — the slot assignment and the shard unit. */
+/** One task of the plan: a (mechanism, benchmark, variant) cell with
+ *  its stable index — the slot assignment and the shard unit. */
 struct PlanTask
 {
-    std::size_t index = 0; ///< flat index: b * mechanisms + m
-    std::size_t m = 0;     ///< row in MatrixResult
-    std::size_t b = 0;     ///< column in MatrixResult
+    std::size_t index = 0; ///< flat index: (b * variants + v) * mechs + m
+    std::size_t m = 0;     ///< row in the variant's MatrixResult
+    std::size_t b = 0;     ///< column in the variant's MatrixResult
+    std::size_t v = 0;     ///< which MatrixResult (config variant)
 };
 
 /** Deterministic, fingerprinted enumeration of one sweep. */
 class TaskPlan
 {
   public:
-    /** Enumerate @p mechanisms x @p benchmarks under @p cfg. The
-     *  config is hashed once (fingerprintConfig); per-benchmark trace
-     *  keys are precomputed. */
+    /** Enumerate @p spec: benchmarks x mechanisms x variants. Every
+     *  variant's config is resolved and hashed once
+     *  (fingerprintConfig); trace slots are precomputed. */
+    explicit TaskPlan(const SweepSpec &spec);
+
+    /** Classic one-variant plan: @p mechanisms x @p benchmarks under
+     *  @p cfg (wraps SweepSpec::single). Flat indices reduce to the
+     *  historic b * mechanisms + m, so stores written by older
+     *  sweeps resume unchanged. */
     TaskPlan(std::vector<std::string> mechanisms,
              std::vector<std::string> benchmarks, const RunConfig &cfg);
 
@@ -84,10 +103,28 @@ class TaskPlan
         return _benchmarks;
     }
 
-    /** The plan's own copy of the run configuration. */
-    const RunConfig &config() const { return _cfg; }
+    /** The spec the plan was built from. */
+    const SweepSpec &spec() const { return _spec; }
 
-    /** Total task count (mechanisms x benchmarks). */
+    /** Number of config variants (>= 1). */
+    std::size_t variantCount() const { return _variant_names.size(); }
+
+    /** Display name of variant @p v ("base" for a one-variant plan). */
+    const std::string &variantName(std::size_t v) const
+    {
+        return _variant_names[v];
+    }
+
+    /** The resolved run configuration of variant @p v. */
+    const RunConfig &config(std::size_t v = 0) const { return _cfgs[v]; }
+
+    /** fingerprintConfig(config(v)), hashed once at construction. */
+    std::uint64_t configHash(std::size_t v = 0) const
+    {
+        return _config_hashes[v];
+    }
+
+    /** Total task count (benchmarks x variants x mechanisms). */
     std::size_t size() const { return _tasks.size(); }
     bool empty() const { return _tasks.empty(); }
 
@@ -96,21 +133,31 @@ class TaskPlan
         return _tasks[index];
     }
 
-    /** fingerprintConfig(config()), hashed once at construction. */
-    std::uint64_t configHash() const { return _config_hash; }
+    /** Number of unique (benchmark, trace window) pairs — the unit
+     *  of trace materialization and refcounting. */
+    std::size_t traceSlotCount() const { return _slot_keys.size(); }
 
-    /** The trace-cache key of benchmark column @p b. */
-    const std::string &traceKey(std::size_t b) const
+    /** The trace slot task @p index draws its trace from. Variants
+     *  sharing a window share the slot. */
+    std::size_t traceSlot(std::size_t index) const
     {
-        return _trace_keys[b];
+        const PlanTask &t = _tasks[index];
+        return _task_slot[t.b * variantCount() + t.v];
     }
 
-    /** The result-store identity of task @p index. */
+    /** The trace-cache key of slot @p slot. */
+    const std::string &slotKey(std::size_t slot) const
+    {
+        return _slot_keys[slot];
+    }
+
+    /** The result-store identity of task @p index (the variant's
+     *  resolved config hash). */
     ResultKey resultKey(std::size_t index) const;
 
-    /** A MatrixResult with every slot allocated (and indices built)
-     *  for this plan — the frame tasks write into. */
-    MatrixResult emptyResult() const;
+    /** A SweepResult with every variant's matrix allocated (and
+     *  indices built) for this plan — the frame tasks write into. */
+    SweepResult emptyResult() const;
 
     /** Stable shard assignment: task @p index belongs to shard
      *  (@p index mod @p shard.count). */
@@ -135,20 +182,30 @@ class TaskPlan
 
     /**
      * Resume pre-fill: for every task whose fingerprinted record
-     * exists in @p store, copy the record into its MatrixResult slot
+     * exists in @p store, copy the record into its SweepResult slot
      * and set done[index]. @p done must have size() entries; already-
      * done tasks are left alone. Returns the number of tasks filled
      * by this call.
      */
-    std::size_t prefill(const ResultStore &store, MatrixResult &res,
+    std::size_t prefill(const ResultStore &store, SweepResult &res,
                         std::vector<char> &done) const;
 
     /**
-     * Per-benchmark count of tasks still to execute: not marked in
+     * Per-trace-slot count of tasks still to execute: not marked in
      * @p done and inside @p shard. Execution backends use this as the
-     * trace refcount — a benchmark's trace becomes evictable exactly
-     * when its count drains to zero, and a benchmark whose count
-     * starts at zero is never materialized at all.
+     * trace refcount — a slot's trace becomes evictable exactly when
+     * its count drains to zero, and a slot whose count starts at zero
+     * is never materialized at all. Variants sharing a window are
+     * counted in one slot, so a shared trace is materialized once.
+     */
+    std::vector<std::size_t>
+    pendingPerTraceSlot(const std::vector<char> &done,
+                        const ShardSpec &shard) const;
+
+    /**
+     * Per-benchmark count of tasks still to execute: not marked in
+     * @p done and inside @p shard. Progress reporting groups by
+     * benchmark (the unit a human watches), whatever the variant.
      */
     std::vector<std::size_t>
     pendingPerBenchmark(const std::vector<char> &done,
@@ -160,11 +217,14 @@ class TaskPlan
                          const ShardSpec &shard) const;
 
   private:
+    SweepSpec _spec;
     std::vector<std::string> _mechanisms;
     std::vector<std::string> _benchmarks;
-    RunConfig _cfg;
-    std::uint64_t _config_hash = 0;
-    std::vector<std::string> _trace_keys;
+    std::vector<std::string> _variant_names;
+    std::vector<RunConfig> _cfgs;             ///< resolved, per variant
+    std::vector<std::uint64_t> _config_hashes; ///< per variant
+    std::vector<std::size_t> _task_slot;       ///< [b * V + v] -> slot
+    std::vector<std::string> _slot_keys;       ///< trace-cache keys
     std::vector<PlanTask> _tasks;
 };
 

@@ -46,17 +46,18 @@ struct ThreadPoolBackend::State
 {
     const TaskPlan &plan;
     const ExecutionContext &ctx;
-    MatrixResult &res;
+    SweepResult &res;
 
     /** Plan indices this process executes, in plan order. */
     std::vector<std::size_t> pending;
-    /** Unfinished pending tasks per benchmark: the plan-aware trace
-     *  refcount (resumed and out-of-shard tasks never count). */
+    /** Unfinished pending tasks per trace slot: the plan-aware trace
+     *  refcount (resumed and out-of-shard tasks never count, and
+     *  variants sharing a window share the slot). */
     std::vector<std::size_t> remaining;
-    /** This process's per-benchmark task count (initial remaining)
-     *  and executed-so-far — progress counters in shard-local
-     *  units, so a finished shard reports bench_done == bench_total
-     *  for every benchmark it touched. */
+    /** This process's per-benchmark task count and executed-so-far —
+     *  progress counters in shard-local units, so a finished shard
+     *  reports bench_done == bench_total for every benchmark it
+     *  touched. */
     std::vector<std::size_t> bench_total;
     std::vector<std::size_t> bench_done;
     std::size_t resumed = 0;
@@ -70,12 +71,12 @@ struct ThreadPoolBackend::State
     std::exception_ptr error;         ///< first failure, if any
 
     State(const TaskPlan &p, const std::vector<char> &done_mask,
-          const ExecutionContext &c, MatrixResult &r,
+          const ExecutionContext &c, SweepResult &r,
           std::size_t resumed_count)
         : plan(p), ctx(c), res(r),
           pending(p.pendingTasks(done_mask, c.opts.shard)),
-          remaining(p.pendingPerBenchmark(done_mask, c.opts.shard)),
-          bench_total(remaining),
+          remaining(p.pendingPerTraceSlot(done_mask, c.opts.shard)),
+          bench_total(p.pendingPerBenchmark(done_mask, c.opts.shard)),
           bench_done(p.benchmarks().size(), 0), resumed(resumed_count)
     {
     }
@@ -128,9 +129,11 @@ ThreadPoolBackend::drain(State &st)
         }
 
         const PlanTask &task = st.plan.task(flat);
-        const std::string &key = st.plan.traceKey(task.b);
+        const std::size_t slot = st.plan.traceSlot(flat);
+        const std::string &key = st.plan.slotKey(slot);
         const std::string &benchmark = st.plan.benchmarks()[task.b];
         const std::string &mechanism = st.plan.mechanisms()[task.m];
+        const RunConfig &cfg = st.plan.config(task.v);
         TraceCache::TracePtr trace;
         if (must_wait) {
             // Deferred tasks keep the future from their original
@@ -143,7 +146,7 @@ ThreadPoolBackend::drain(State &st)
             switch (cache.claim(key, fut)) {
               case TraceCache::Claim::Owner:
                 trace = ExperimentEngine::materializeInto(
-                    cache, key, benchmark, st.plan.config());
+                    cache, key, benchmark, cfg);
                 break;
               case TraceCache::Claim::Ready:
                 trace = fut.get();
@@ -157,7 +160,7 @@ ThreadPoolBackend::drain(State &st)
             }
         }
 
-        RunOutput out = runOne(*trace, mechanism, st.plan.config());
+        RunOutput out = runOne(*trace, mechanism, cfg);
         if (opts.store) {
             // Persist before publishing: a sweep killed after this
             // point resumes past this run. put() flushes, so the
@@ -165,21 +168,22 @@ ThreadPoolBackend::drain(State &st)
             opts.store->put(
                 makeRecord(st.plan.resultKey(flat), out));
         }
-        // Each task owns its (m, b) slot exclusively: no lock
-        // needed, and the matrix is identical for any worker count.
-        st.res.ipc[task.m][task.b] = out.core.ipc;
-        st.res.outputs[task.m][task.b] = std::move(out);
+        // Each task owns its (m, b, v) slot exclusively: no lock
+        // needed, and the result is identical for any worker count.
+        MatrixResult &matrix = st.res.matrix(task.v);
+        matrix.ipc[task.m][task.b] = out.core.ipc;
+        matrix.outputs[task.m][task.b] = std::move(out);
 
         std::size_t done_now = 0;
         std::size_t bench_done_now = 0;
-        bool last_of_benchmark = false;
+        bool last_of_slot = false;
         {
             std::unique_lock<std::mutex> lock(st.mu);
             done_now = ++st.done_count;
             bench_done_now = ++st.bench_done[task.b];
-            last_of_benchmark = --st.remaining[task.b] == 0;
+            last_of_slot = --st.remaining[slot] == 0;
         }
-        if (last_of_benchmark) {
+        if (last_of_slot) {
             // No pending task references this trace anymore: release
             // it for byte-budget eviction, or drop it outright in
             // one-shot (keep_traces=false) mode.
@@ -199,6 +203,7 @@ ThreadPoolBackend::drain(State &st)
             ProgressEvent ev("run");
             ev.field("bench", benchmark)
                 .field("mech", mechanism)
+                .field("variant", st.plan.variantName(task.v))
                 .field("task", task.index)
                 .field("bench_done", bench_done_now)
                 .field("bench_total", st.bench_total[task.b])
@@ -209,7 +214,7 @@ ThreadPoolBackend::drain(State &st)
                 .field("elapsed_s", elapsed)
                 .field("eta_s", eta);
             st.ctx.progress->write(ev);
-            if (last_of_benchmark)
+            if (bench_done_now == st.bench_total[task.b])
                 st.ctx.progress->write(
                     ProgressEvent("bench")
                         .field("bench", benchmark)
@@ -219,8 +224,11 @@ ThreadPoolBackend::drain(State &st)
         }
         if (opts.verbose)
             inform("[", done_now + st.resumed, "/", st.plan.size(),
-                   "] ", benchmark, " / ", mechanism, ": IPC ",
-                   st.res.ipc[task.m][task.b]);
+                   "] ", benchmark, " / ", mechanism,
+                   st.plan.variantCount() > 1
+                       ? " / " + st.plan.variantName(task.v)
+                       : "",
+                   ": IPC ", matrix.ipc[task.m][task.b]);
     }
 }
 
@@ -228,7 +236,7 @@ void
 ThreadPoolBackend::execute(const TaskPlan &plan,
                            const std::vector<char> &done,
                            const ExecutionContext &ctx,
-                           MatrixResult &res, RunCounters &counters)
+                           SweepResult &res, RunCounters &counters)
 {
     State st(plan, done, ctx, res, counters.resumed);
     // Skipped-by-shard = pending anywhere minus pending here.
@@ -236,15 +244,15 @@ ThreadPoolBackend::execute(const TaskPlan &plan,
         plan.pendingTasks(done, ShardSpec{}).size() - st.pending.size();
 
     TraceCache &cache = ctx.engine.cache();
-    // Pin every benchmark this process will materialize: the byte
+    // Pin every trace slot this process will materialize: the byte
     // budget may evict only traces the remaining plan no longer
     // references. Balanced by unpin in drain() (last task of the
-    // benchmark) or by the sweep below on the error path.
-    std::vector<char> pinned(plan.benchmarks().size(), 0);
-    for (std::size_t b = 0; b < plan.benchmarks().size(); ++b) {
-        if (st.remaining[b] > 0) {
-            cache.pin(plan.traceKey(b));
-            pinned[b] = 1;
+    // slot) or by the sweep below on the error path.
+    std::vector<char> pinned(plan.traceSlotCount(), 0);
+    for (std::size_t s = 0; s < plan.traceSlotCount(); ++s) {
+        if (st.remaining[s] > 0) {
+            cache.pin(plan.slotKey(s));
+            pinned[s] = 1;
         }
     }
 
@@ -265,13 +273,13 @@ ThreadPoolBackend::execute(const TaskPlan &plan,
     guarded(); // the calling thread is worker zero
     pool.wait();
 
-    // Error path: benchmarks whose tasks never all finished still
-    // hold their pin; release them so the cache budget stays honest.
+    // Error path: slots whose tasks never all finished still hold
+    // their pin; release them so the cache budget stays honest.
     {
         std::unique_lock<std::mutex> lock(st.mu);
-        for (std::size_t b = 0; b < plan.benchmarks().size(); ++b)
-            if (pinned[b] && st.remaining[b] > 0)
-                cache.unpin(plan.traceKey(b));
+        for (std::size_t s = 0; s < plan.traceSlotCount(); ++s)
+            if (pinned[s] && st.remaining[s] > 0)
+                cache.unpin(plan.slotKey(s));
     }
 
     counters.executed = st.done_count;

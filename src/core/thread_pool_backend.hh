@@ -12,12 +12,14 @@
  *  - only when no other work exists does a worker wait on a trace's
  *    shared_future.
  *
- * Trace refcounts are plan-aware: the per-benchmark pending count
- * comes from the plan (resumed and out-of-shard tasks excluded), so
- * a benchmark's trace is released — unpinned for byte-budget
- * eviction, and evicted outright when keep_traces is off — the
- * moment its last task *this process will ever run* completes, and a
- * benchmark with nothing pending is never materialized at all.
+ * Trace refcounts are plan-aware and counted per *trace slot* — the
+ * plan's unique (benchmark, window) pairs, so config variants that
+ * share a window are counted once. The per-slot pending count comes
+ * from the plan (resumed and out-of-shard tasks excluded), so a
+ * slot's trace is released — unpinned for byte-budget eviction, and
+ * evicted outright when keep_traces is off — the moment its last
+ * task *this process will ever run* completes, and a slot with
+ * nothing pending is never materialized at all.
  *
  * This is the leaf executor every other backend bottoms out in: a
  * ProcessShardBackend worker is just a fresh engine running this
@@ -39,7 +41,7 @@ class ThreadPoolBackend : public ExecutionBackend
     const char *name() const override { return "thread-pool"; }
 
     void execute(const TaskPlan &plan, const std::vector<char> &done,
-                 const ExecutionContext &ctx, MatrixResult &res,
+                 const ExecutionContext &ctx, SweepResult &res,
                  RunCounters &counters) override;
 
   private:

@@ -9,6 +9,7 @@
 #ifndef MICROLIB_SIM_CONFIG_HH
 #define MICROLIB_SIM_CONFIG_HH
 
+#include <cstdint>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -16,6 +17,18 @@
 
 namespace microlib
 {
+
+/**
+ * Parse a non-negative integer with an optional binary magnitude
+ * suffix: "4096", "256k", "1M", "2G" (suffixes are 1024-based and
+ * case-insensitive). Used by configuration axes and CLI flags, where
+ * cache sizes are naturally written "512k". Returns false on empty
+ * input, a malformed number, an unknown suffix, or overflow.
+ */
+bool parseScaledU64(const std::string &text, std::uint64_t &out);
+
+/** Parse "0/1/false/true/off/on" into @p out; false otherwise. */
+bool parseBoolWord(const std::string &text, bool &out);
 
 /** Sectioned key/value parameter dump (cf. paper Table 1). */
 class ParamTable

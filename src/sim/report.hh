@@ -35,6 +35,10 @@ class Table
 
     void print(std::ostream &os) const;
 
+    /** The rendered table as a string — for callers writing through
+     *  a FILE* or comparing reports byte-for-byte. */
+    std::string str() const;
+
     std::size_t rows() const { return _rows.size(); }
 
     /** Format a double with fixed precision. */
@@ -45,6 +49,18 @@ class Table
     std::vector<std::string> _header;
     std::vector<std::vector<std::string>> _rows;
 };
+
+/**
+ * Build a row-label x column-label table of numeric cells: the shape
+ * of every cross-variant / cross-mechanism summary. @p corner names
+ * the label column; @p cells is indexed [row][col] and must be
+ * rectangular with @p rows x @p cols entries.
+ */
+Table crossTable(const std::string &title, const std::string &corner,
+                 const std::vector<std::string> &rows,
+                 const std::vector<std::string> &cols,
+                 const std::vector<std::vector<double>> &cells,
+                 int precision = 3);
 
 /**
  * Banner printed at the top of every bench binary: experiment id,

@@ -33,7 +33,7 @@ SpecGenerator::reset()
     _segment = 0;
     _segment_left = _prog.segments[0].instructions;
     _emitted = 0;
-    _last_load = 0;
+    _last_load.fill(0);
     _block_counter = 0;
     _stack_pos = 0;
     _block.clear();
@@ -152,11 +152,15 @@ SpecGenerator::buildBlock()
             } else {
                 rec.value = _image->read(ref.addr);
             }
-            if (ref.serial_dep && _last_load < global_idx) {
+            const std::size_t dep_key =
+                ref.dep_key % _last_load.size();
+            if (ref.serial_dep && _last_load[dep_key] < global_idx) {
                 // Pointer chase: the address depends on the previous
-                // load's value — the defining serialization of mcf-
-                // like codes.
-                const std::uint64_t dist = global_idx - _last_load;
+                // load's value (of the same dependence chain — see
+                // MemRef::dep_key) — the defining serialization of
+                // mcf-like codes.
+                const std::uint64_t dist =
+                    global_idx - _last_load[dep_key];
                 rec.dep1 = static_cast<std::uint8_t>(
                     std::min<std::uint64_t>(dist, 255));
             } else if (ref.store) {
@@ -171,7 +175,7 @@ SpecGenerator::buildBlock()
                 rec.dep1 = 0;
             }
             if (!ref.store)
-                _last_load = global_idx;
+                _last_load[dep_key] = global_idx;
         } else {
             rec.op = pickComputeOp();
             // Consumers often use the most recent load's result.

@@ -14,6 +14,7 @@
 #ifndef MICROLIB_TRACE_GENERATOR_HH
 #define MICROLIB_TRACE_GENERATOR_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -118,7 +119,9 @@ class SpecGenerator
     std::size_t _segment = 0;
     std::uint64_t _segment_left = 0;
     std::uint64_t _emitted = 0;
-    std::uint64_t _last_load = 0;   ///< index of last emitted load
+    /** Index of the last emitted load per dependence key
+     *  (MemRef::dep_key); key 0 is every ordinary load. */
+    std::array<std::uint64_t, 8> _last_load{};
     std::uint64_t _block_counter = 0;
     std::uint64_t _stack_pos = 0;   ///< rolling stack walk position
     std::uint64_t _segment_visits = 0; ///< phase instances so far

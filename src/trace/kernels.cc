@@ -156,10 +156,22 @@ PointerChaseKernel::setup(MemoryImage &img, Rng &rng)
 {
     if (_p.next_offset + 8 > _p.node_bytes)
         fatal("PointerChaseKernel: next_offset outside node");
+    const unsigned nchains = _p.chains ? _p.chains : 1;
+    if (_p.node_count < nchains)
+        fatal("PointerChaseKernel: ", nchains, " chain(s) over ",
+              _p.node_count, " node(s)");
+    // Each chain needs its own dependence key, and key 0 is reserved
+    // for ordinary loads; the generator tracks 8 keys total. More
+    // chains would silently alias into one serial chain — refuse.
+    if (nchains > 7)
+        fatal("PointerChaseKernel: at most 7 chains (per-chain "
+              "dependence keys), got ", nchains);
 
-    // Build a permutation cycle over all nodes: every node's next
-    // pointer leads to the following node in (possibly shuffled)
-    // visitation order, forming one big cycle.
+    // Build a permutation over all nodes, then slice the visitation
+    // order into `chains` independent cycles: every node's next
+    // pointer leads to the following node of its slice, the last
+    // wrapping to the slice head. One chain is the classic single
+    // big cycle.
     std::vector<std::uint32_t> order(_p.node_count);
     std::iota(order.begin(), order.end(), 0);
     // Fisher-Yates, partially applied according to the shuffle knob.
@@ -170,19 +182,27 @@ PointerChaseKernel::setup(MemoryImage &img, Rng &rng)
         std::swap(order[i], order[j]);
     }
 
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        const Addr node = nodeAddr(order[i]);
-        const Addr next = nodeAddr(order[(i + 1) % order.size()]);
-        img.write(node + _p.next_offset, next);
-        // First payload word, mode-consistent.
-        if (_p.node_bytes >= 16) {
-            const Addr payload =
-                node + (_p.next_offset == 0 ? 8 : 0);
-            img.write(payload,
-                      storeValue(_p.payload_values, payload, rng));
+    _heads.assign(nchains, 0);
+    for (unsigned c = 0; c < nchains; ++c) {
+        const std::size_t begin = c * order.size() / nchains;
+        const std::size_t end = (c + 1) * order.size() / nchains;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Addr node = nodeAddr(order[i]);
+            const Addr next =
+                nodeAddr(order[i + 1 < end ? i + 1 : begin]);
+            img.write(node + _p.next_offset, next);
+            // First payload word, mode-consistent.
+            if (_p.node_bytes >= 16) {
+                const Addr payload =
+                    node + (_p.next_offset == 0 ? 8 : 0);
+                img.write(payload,
+                          storeValue(_p.payload_values, payload, rng));
+            }
         }
+        _heads[c] = nodeAddr(order[begin]);
     }
-    _current = nodeAddr(order[0]);
+    _turn = 0;
+    _payload_node = _heads[0];
     _payload_left = 0;
 }
 
@@ -191,13 +211,14 @@ PointerChaseKernel::next(MemoryImage &img, Rng &rng)
 {
     MemRef ref;
     if (_payload_left > 0) {
-        // Touch payload fields of the current node.
+        // Touch payload fields of the node just reached.
         --_payload_left;
         const std::uint64_t words = _p.node_bytes / 8;
-        const Addr a = _current + 8 * rng.nextBounded(words);
+        const Addr a = _payload_node + 8 * rng.nextBounded(words);
         ref.addr = a;
         ref.slot = 1;
-        if (a != _current + _p.next_offset && rng.chance(_p.write_frac)) {
+        if (a != _payload_node + _p.next_offset &&
+            rng.chance(_p.write_frac)) {
             ref.store = true;
             ref.store_value = storeValue(_p.payload_values, a, rng);
             ref.slot = 2;
@@ -205,18 +226,28 @@ PointerChaseKernel::next(MemoryImage &img, Rng &rng)
         return ref;
     }
 
-    // Follow the next pointer: a serially dependent load.
-    const Addr link = _current + _p.next_offset;
+    // Follow the next pointer of the chain whose turn it is: a load
+    // serially dependent on that chain's previous link load.
+    const Addr link = _heads[_turn] + _p.next_offset;
     ref.addr = link;
     ref.slot = 0;
     ref.serial_dep = true;
+    // Multi-chain walks serialize per chain, not globally: keys 1..7
+    // keep each chain's link loads in their own dependence chain
+    // (setup() capped the chain count) while the single-chain case
+    // stays on the classic key 0.
+    if (_heads.size() > 1)
+        ref.dep_key = static_cast<std::uint8_t>(1 + _turn);
     const Word next = img.read(link);
     if (looksLikeHeapPointer(next))
-        _current = next;
+        _heads[_turn] = next;
     else
-        _current = nodeAddr(0); // corrupted by a payload write: restart
+        _heads[_turn] = nodeAddr(0); // corrupted by a payload write:
+                                     // restart
+    _payload_node = _heads[_turn];
     _payload_left = static_cast<unsigned>(
         rng.nextGeometric(_p.payload_touches + 0.01) - 1);
+    _turn = (_turn + 1) % static_cast<unsigned>(_heads.size());
     return ref;
 }
 

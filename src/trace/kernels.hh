@@ -44,6 +44,16 @@ struct MemRef
     Word store_value = 0;      ///< value to write when store == true
     std::uint8_t slot = 0;     ///< static reference site within kernel
     bool serial_dep = false;   ///< address depended on previous load
+    /**
+     * Dependence chain the serial_dep refers to: the address depends
+     * on the previous load carrying the same key, not the previous
+     * load globally. Kernels with several independent pointer chains
+     * (PointerChaseKernel::Params::chains) key each chain separately,
+     * so the chains overlap in the machine — memory-level parallelism
+     * by construction. Key 0 (the default) reproduces the classic
+     * "depends on the most recent load" behaviour bit-for-bit.
+     */
+    std::uint8_t dep_key = 0;
 };
 
 /** Shared bounds of the synthetic address space. */
@@ -142,10 +152,17 @@ class MultiStrideKernel : public PatternKernel
 };
 
 /**
- * Pointer chase over a linked list built in the image. The next
+ * Pointer chase over linked lists built in the image. The next
  * pointer lives at @c next_offset inside each node (88 bytes for the
  * ammp pathology: one line past the head of a 64-byte-line fetch).
  * Payload fields around the node are also touched.
+ *
+ * @c chains splits the nodes into that many independent cycles,
+ * followed round-robin: each chain's link load still serializes on
+ * its own previous load, but the chains overlap in the machine, so
+ * chains == 1 is the pure memory-latency-bound case (every miss
+ * exposed, zero memory-level parallelism) and larger counts dial MLP
+ * back in — the knob the pchase workload's phases are built from.
  */
 class PointerChaseKernel : public PatternKernel
 {
@@ -160,6 +177,9 @@ class PointerChaseKernel : public PatternKernel
         double payload_touches = 1.0; ///< avg extra payload refs per node
         double write_frac = 0.1;    ///< fraction of payload refs that store
         ValueMode payload_values = ValueMode::Garbage;
+        /** Independent cycles, walked round-robin; at most 7 (each
+         *  chain owns one of the generator's dependence keys). */
+        unsigned chains = 1;
     };
 
     explicit PointerChaseKernel(const Params &p) : _p(p) {}
@@ -171,7 +191,9 @@ class PointerChaseKernel : public PatternKernel
 
   private:
     Params _p;
-    Addr _current = 0;
+    std::vector<Addr> _heads; ///< per-chain current node
+    unsigned _turn = 0;       ///< chain whose link is followed next
+    Addr _payload_node = 0;   ///< node the payload refs touch
     unsigned _payload_left = 0;
 
     Addr nodeAddr(std::uint64_t idx) const

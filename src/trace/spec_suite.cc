@@ -46,7 +46,8 @@ multi(Addr base, std::uint64_t array_bytes,
 auto
 chase(Addr base, std::uint64_t node_bytes, std::uint64_t node_count,
       std::uint64_t next_offset, double shuffle, double payload_touches,
-      ValueMode payload_vm = ValueMode::Garbage, double write_frac = 0.1)
+      ValueMode payload_vm = ValueMode::Garbage, double write_frac = 0.1,
+      unsigned chains = 1)
 {
     PointerChaseKernel::Params p;
     p.base = base;
@@ -57,6 +58,7 @@ chase(Addr base, std::uint64_t node_bytes, std::uint64_t node_count,
     p.payload_touches = payload_touches;
     p.payload_values = payload_vm;
     p.write_frac = write_frac;
+    p.chains = chains;
     return [p] { return std::unique_ptr<PatternKernel>(
         new PointerChaseKernel(p)); };
 }
@@ -531,10 +533,53 @@ buildSuite()
     return suite;
 }
 
+/**
+ * Extra workloads beyond Table 4 (see spec_suite.hh). pchase is the
+ * memory-latency-bound scenario: a 6 MB shuffled pointer cycle whose
+ * serialized link loads expose every miss (chains = 1, zero MLP) for
+ * the bulk of each pass, followed by a shorter four-chain phase where
+ * independent chains overlap in the machine. Latency-reducing
+ * configuration changes (L2 size, SDRAM timings, constant-latency
+ * memory) move it far more than bandwidth ones — the scenario the
+ * config-axis sensitivity sweeps need.
+ */
+std::vector<SpecProgram>
+buildExtras()
+{
+    std::vector<SpecProgram> extras;
+    const Addr B = heap_base;
+    {
+        auto p = base("pchase", 201, 0.40, 0.0);
+        p.stack_frac = 0.25;
+        p.kernels = {
+            // Single chain: 96k x 64 B nodes = 6 MB, fully shuffled,
+            // few payload touches — almost every reference is the
+            // serially dependent link load.
+            chase(B, 64, 96 * 1024, 0, 1.0, 0.2, ValueMode::Pointer,
+                  0.05),
+            // Four independent chains over a second region: same
+            // footprint per chain, but the chains overlap in the
+            // machine (MemRef::dep_key), so this phase recovers MLP.
+            chase(B + 64 * MiB, 64, 96 * 1024, 0, 1.0, 0.2,
+                  ValueMode::Pointer, 0.05, 4),
+        };
+        p.segments = {{0, 1'400'000}, {1, 400'000}};
+        extras.push_back(std::move(p));
+    }
+    return extras;
+}
+
 const std::vector<std::string> fp_names = {
     "ammp", "applu", "apsi", "art", "equake", "facerec", "fma3d",
     "galgel", "lucas", "mesa", "mgrid", "sixtrack", "swim", "wupwise",
 };
+
+const std::vector<SpecProgram> &
+extraSuite()
+{
+    static const std::vector<SpecProgram> extras = buildExtras();
+    return extras;
+}
 
 } // namespace
 
@@ -563,7 +608,22 @@ specProgram(const std::string &name)
     for (const auto &p : specSuite())
         if (p.name == name)
             return p;
+    for (const auto &p : extraSuite())
+        if (p.name == name)
+            return p;
     fatal("unknown benchmark: ", name);
+}
+
+const std::vector<std::string> &
+extraBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &p : extraSuite())
+            out.push_back(p.name);
+        return out;
+    }();
+    return names;
 }
 
 bool

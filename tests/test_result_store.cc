@@ -315,3 +315,113 @@ TEST(ResultStore, MemoryOnlyStoreWorks)
     EXPECT_TRUE(store.find(rec.key).has_value());
     EXPECT_TRUE(store.path().empty());
 }
+
+namespace
+{
+
+/** Count the record lines of a store file. */
+std::size_t
+countLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++n;
+    return n;
+}
+
+/** Whole file contents, for byte-identity checks. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+/** A family of distinct records (benchmark names differ). */
+ResultRecord
+numberedRecord(unsigned i)
+{
+    ResultRecord rec = sampleRecord();
+    rec.key.benchmark = "bench" + std::to_string(i);
+    rec.core.cycles = 1000 + i;
+    rec.core.ipc = 100000.0 / rec.core.cycles;
+    return rec;
+}
+
+} // namespace
+
+TEST(ResultStore, CompactRewritesToOneRecordPerKey)
+{
+    const std::string path = tmpPath("compact.store");
+    std::remove(path.c_str());
+    {
+        ResultStore store(path);
+        // A rerun-after-merge store: every record appended twice
+        // (merge-by-concatenation keeps duplicate lines; only the
+        // in-memory view is last-wins).
+        for (unsigned i = 0; i < 4; ++i)
+            store.put(numberedRecord(i));
+        for (unsigned i = 0; i < 4; ++i)
+            store.put(numberedRecord(i));
+        ASSERT_EQ(store.size(), 4u);
+        ASSERT_EQ(countLines(path), 8u);
+
+        EXPECT_EQ(store.compact(), 4u);
+        EXPECT_EQ(store.size(), 4u);
+        EXPECT_EQ(countLines(path), 4u);
+
+        // The append stream survives compaction: later puts extend
+        // the compacted file.
+        store.put(numberedRecord(9));
+        EXPECT_EQ(countLines(path), 5u);
+    }
+    // A reload of the compacted store sees every record.
+    ResultStore reloaded(path);
+    EXPECT_EQ(reloaded.size(), 5u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(reloaded.find(numberedRecord(i).key).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, CompactIsAPureFunctionOfTheRecordSet)
+{
+    // Two stores holding the same records in different append orders
+    // (and one with duplicates) must compact to byte-identical
+    // files — the property that makes compacted stores diffable.
+    const std::string a_path = tmpPath("compact_a.store");
+    const std::string b_path = tmpPath("compact_b.store");
+    std::remove(a_path.c_str());
+    std::remove(b_path.c_str());
+    {
+        ResultStore a(a_path);
+        for (unsigned i = 0; i < 5; ++i)
+            a.put(numberedRecord(i));
+        ResultStore b(b_path);
+        for (unsigned i = 5; i-- > 0;)
+            b.put(numberedRecord(i));
+        b.put(numberedRecord(2)); // duplicate line
+        a.compact();
+        b.compact();
+    }
+    const std::string a_bytes = slurp(a_path);
+    EXPECT_FALSE(a_bytes.empty());
+    EXPECT_EQ(a_bytes, slurp(b_path));
+    std::remove(a_path.c_str());
+    std::remove(b_path.c_str());
+}
+
+TEST(ResultStore, CompactOnMemoryStoreIsANoOp)
+{
+    ResultStore store;
+    store.put(sampleRecord());
+    EXPECT_EQ(store.compact(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+}

@@ -2,28 +2,33 @@
  * @file
  * microlib_sweep: the sweep driver cluster launchers call.
  *
- * Describes a (benchmark x mechanism) sweep as a deterministic
- * TaskPlan and either prints it (--plan), runs it — whole, as one
- * shard (--shard i/N), or fanned out over forked shard workers
- * (--backend process) — or merges per-shard result stores
- * (--merge). Because every process that builds the same plan agrees
- * on task indices and fingerprints, disjoint shards can run on
- * separate hosts against separate stores and be concatenated into a
- * result byte-identical to a single-process run:
+ * A sweep is described declaratively by a SweepSpec — benchmarks x
+ * mechanisms x config variants expanded from declared axes — built
+ * either from the flags below or parsed from a `.sweep` file
+ * (--spec; see docs/SWEEP_SPEC.md). The driver turns the spec into a
+ * deterministic TaskPlan and either prints it (--plan / --print-spec)
+ * or runs it — whole, as one shard (--shard i/N), or fanned out over
+ * forked shard workers (--backend process) — and can merge
+ * (--merge) and compact (--compact) per-shard result stores. Because
+ * every process that parses the same spec builds the same plan,
+ * disjoint shards can run on separate hosts against separate stores
+ * and be combined into a result byte-identical to a single-process
+ * run:
  *
  *   # one host, the reference
- *   microlib_sweep $M --store single.store --report single.txt
+ *   microlib_sweep --spec exp.sweep --store single.store \
+ *       --report single.txt
  *
  *   # two hosts, then combine
- *   microlib_sweep $M --shard 0/2 --store s0.store
- *   microlib_sweep $M --shard 1/2 --store s1.store
- *   microlib_sweep $M --store merged.store \
- *       --merge s0.store s1.store --report merged.txt
+ *   microlib_sweep --spec exp.sweep --shard 0/2 --store s0.store
+ *   microlib_sweep --spec exp.sweep --shard 1/2 --store s1.store
+ *   microlib_sweep --spec exp.sweep --store merged.store \
+ *       --merge s0.store s1.store --compact --report merged.txt
  *   diff single.txt merged.txt        # byte-identical
  *
- * A rerun against an existing store resumes: only missing tasks
- * execute (a killed shard picks up exactly where it died). See
- * docs/SHARDING.md for the full walkthrough.
+ * A rerun against an existing store resumes: only missing (benchmark,
+ * mechanism, variant) tasks execute (a killed shard picks up exactly
+ * where it died). See docs/SHARDING.md for the full walkthrough.
  */
 
 #include <cstdio>
@@ -37,7 +42,9 @@
 #include "core/registry.hh"
 #include "core/result_store.hh"
 #include "core/scheduler.hh"
+#include "core/sweep_spec.hh"
 #include "core/task_plan.hh"
+#include "sim/fingerprint.hh"
 #include "trace/spec_suite.hh"
 
 using namespace microlib;
@@ -47,6 +54,7 @@ namespace
 
 struct SweepArgs
 {
+    std::string spec_path; // --spec FILE; empty = build from flags
     std::vector<std::string> benchmarks = {"swim", "gzip", "mcf",
                                            "crafty"};
     std::vector<std::string> mechanisms; // empty = all (Base + 12)
@@ -55,6 +63,8 @@ struct SweepArgs
     bool arbitrary = false;
     std::uint64_t arb_skip = 0;
     std::uint64_t arb_length = 0;
+    bool description_flags_used = false; // --bench/--mech/--trace/...
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     unsigned threads = 0;
     ShardSpec shard;
     std::string store_path;
@@ -64,7 +74,9 @@ struct SweepArgs
     bool use_process_backend = false;
     std::size_t process_shards = 2;
     bool print_plan = false;
+    bool print_spec = false;
     bool do_report = false;
+    bool do_compact = false;
     bool verbose = false;
     std::vector<std::string> merge_inputs;
 };
@@ -76,6 +88,8 @@ usage(const char *argv0)
         "usage: %s [options] [--merge STORE...]\n"
         "\n"
         "Sweep description (must be identical across shards):\n"
+        "  --spec FILE         load a .sweep spec file (replaces the\n"
+        "                      flags below; see docs/SWEEP_SPEC.md)\n"
         "  --bench LIST        comma-separated benchmarks, or 'all'\n"
         "                      (default: swim,gzip,mcf,crafty)\n"
         "  --mech LIST         comma-separated mechanisms, or 'all'\n"
@@ -83,6 +97,9 @@ usage(const char *argv0)
         "  --trace N           SimPoint window length (default 500000)\n"
         "  --interval N        SimPoint interval (default: --trace)\n"
         "  --arbitrary S,L     arbitrary window: skip S, length L\n"
+        "  --axis KEY=V1,V2    sweep KEY over the listed values; one\n"
+        "                      config variant per combination\n"
+        "                      (repeatable; composes with --spec)\n"
         "\n"
         "Execution:\n"
         "  --store PATH        append-only result store (resume +\n"
@@ -101,10 +118,15 @@ usage(const char *argv0)
         "Modes:\n"
         "  --plan              print the fingerprinted task list and\n"
         "                      exit (no simulation)\n"
+        "  --print-spec        print the canonical spec text (stdout)\n"
+        "                      and its hash (stderr), then exit\n"
         "  --merge STORE...    merge the given store files into\n"
         "                      --store before anything else runs\n"
-        "  --report [PATH]     write the IPC matrix report (stdout\n"
-        "                      if PATH is omitted or '-')\n",
+        "  --compact           rewrite --store to one record per key\n"
+        "                      (after --merge, before the run)\n"
+        "  --report [PATH]     write the IPC matrices (+ sensitivity\n"
+        "                      table for multi-variant sweeps) to\n"
+        "                      PATH (stdout if omitted or '-')\n",
         argv0);
 }
 
@@ -142,26 +164,100 @@ parseU64(const char *flag, const std::string &value)
 }
 
 /**
- * Deterministic matrix report: fixed-width, fixed-precision, no
+ * The sweep description as a SweepSpec: parsed from --spec, or built
+ * from the description flags (which then mirror the old two-vector
+ * CLI exactly). --axis declarations append in either mode. Exits
+ * with the parse/validation error on a bad spec.
+ */
+SweepSpec
+buildSpec(const SweepArgs &args)
+{
+    SweepSpec spec;
+    std::string error;
+    if (!args.spec_path.empty()) {
+        if (args.description_flags_used) {
+            std::fprintf(stderr,
+                         "--spec replaces --bench/--mech/--trace/"
+                         "--interval/--arbitrary; use --axis to "
+                         "extend a spec file\n");
+            std::exit(2);
+        }
+        if (!SweepSpec::load(args.spec_path, spec, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            std::exit(2);
+        }
+    } else {
+        spec.setBenchmarks(args.benchmarks);
+        spec.setMechanisms(args.mechanisms.empty()
+                               ? allMechanismNames()
+                               : args.mechanisms);
+        bool ok = true;
+        if (args.arbitrary) {
+            ok = ok &&
+                 spec.addBase("window.selection", "arbitrary", &error);
+            ok = ok && spec.addBase("window.skip",
+                                    std::to_string(args.arb_skip),
+                                    &error);
+            ok = ok && spec.addBase("window.length",
+                                    std::to_string(args.arb_length),
+                                    &error);
+        } else {
+            const std::uint64_t interval =
+                args.interval ? args.interval : args.trace_length;
+            ok = ok &&
+                 spec.addBase("window.trace_length",
+                              std::to_string(args.trace_length),
+                              &error);
+            ok = ok && spec.addBase("window.interval",
+                                    std::to_string(interval), &error);
+        }
+        if (!ok) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            std::exit(2);
+        }
+    }
+    for (const auto &axis : args.axes) {
+        if (!spec.addAxis(axis.first, axis.second, &error)) {
+            std::fprintf(stderr, "--axis %s: %s\n", axis.first.c_str(),
+                         error.c_str());
+            std::exit(2);
+        }
+    }
+    return spec;
+}
+
+/**
+ * Deterministic sweep report: fixed-width, fixed-precision, no
  * timestamps or host names — so a sharded-and-merged sweep's report
- * can be `diff`ed byte-for-byte against a single-process run's.
+ * can be `diff`ed byte-for-byte against a single-process run's. One
+ * IPC matrix per config variant, plus the cross-variant sensitivity
+ * table when the sweep has more than one.
  */
 void
-writeReport(std::FILE *out, const MatrixResult &res)
+writeReport(std::FILE *out, const SweepResult &res)
 {
-    std::fprintf(out, "# microlib_sweep IPC matrix (%zu mechanism(s) "
-                      "x %zu benchmark(s))\n",
-                 res.mechanisms.size(), res.benchmarks.size());
-    std::fprintf(out, "%-8s", "");
-    for (const auto &b : res.benchmarks)
-        std::fprintf(out, "%12s", b.c_str());
-    std::fprintf(out, "\n");
-    for (std::size_t m = 0; m < res.mechanisms.size(); ++m) {
-        std::fprintf(out, "%-8s", res.mechanisms[m].c_str());
-        for (std::size_t b = 0; b < res.benchmarks.size(); ++b)
-            std::fprintf(out, "%12.6f", res.ipc[m][b]);
+    const std::size_t nv = res.matrices.size();
+    for (std::size_t v = 0; v < nv; ++v) {
+        const MatrixResult &m = res.matrices[v];
+        std::fprintf(out,
+                     "# microlib_sweep IPC matrix (%zu mechanism(s) "
+                     "x %zu benchmark(s))%s%s\n",
+                     m.mechanisms.size(), m.benchmarks.size(),
+                     nv > 1 ? " variant " : "",
+                     nv > 1 ? res.variants[v].c_str() : "");
+        std::fprintf(out, "%-8s", "");
+        for (const auto &b : m.benchmarks)
+            std::fprintf(out, "%12s", b.c_str());
         std::fprintf(out, "\n");
+        for (std::size_t mi = 0; mi < m.mechanisms.size(); ++mi) {
+            std::fprintf(out, "%-8s", m.mechanisms[mi].c_str());
+            for (std::size_t b = 0; b < m.benchmarks.size(); ++b)
+                std::fprintf(out, "%12.6f", m.ipc[mi][b]);
+            std::fprintf(out, "\n");
+        }
     }
+    if (nv > 1)
+        std::fputs(sensitivityTable(res).str().c_str(), out);
 }
 
 } // namespace
@@ -183,18 +279,24 @@ main(int argc, char **argv)
         if (flag == "--help" || flag == "-h") {
             usage(argv[0]);
             return 0;
+        } else if (flag == "--spec") {
+            args.spec_path = value("--spec");
         } else if (flag == "--bench") {
             const std::string v = value("--bench");
             args.benchmarks =
                 v == "all" ? specBenchmarkNames() : splitList(v);
+            args.description_flags_used = true;
         } else if (flag == "--mech") {
             const std::string v = value("--mech");
             args.mechanisms =
                 v == "all" ? allMechanismNames() : splitList(v);
+            args.description_flags_used = true;
         } else if (flag == "--trace") {
             args.trace_length = parseU64("--trace", value("--trace"));
+            args.description_flags_used = true;
         } else if (flag == "--interval") {
             args.interval = parseU64("--interval", value("--interval"));
+            args.description_flags_used = true;
         } else if (flag == "--arbitrary") {
             const auto parts = splitList(value("--arbitrary"));
             if (parts.size() != 2) {
@@ -204,6 +306,19 @@ main(int argc, char **argv)
             args.arbitrary = true;
             args.arb_skip = parseU64("--arbitrary", parts[0]);
             args.arb_length = parseU64("--arbitrary", parts[1]);
+            args.description_flags_used = true;
+        } else if (flag == "--axis") {
+            const std::string v = value("--axis");
+            const auto eq = v.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= v.size()) {
+                std::fprintf(stderr,
+                             "--axis wants KEY=V1,V2,... got '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+            args.axes.emplace_back(v.substr(0, eq),
+                                   splitList(v.substr(eq + 1)));
         } else if (flag == "--threads") {
             args.threads = static_cast<unsigned>(
                 parseU64("--threads", value("--threads")));
@@ -234,6 +349,10 @@ main(int argc, char **argv)
                 parseU64("--shards", value("--shards")));
         } else if (flag == "--plan") {
             args.print_plan = true;
+        } else if (flag == "--print-spec") {
+            args.print_spec = true;
+        } else if (flag == "--compact") {
+            args.do_compact = true;
         } else if (flag == "--verbose") {
             args.verbose = true;
         } else if (flag == "--report") {
@@ -255,21 +374,18 @@ main(int argc, char **argv)
         }
     }
 
-    if (args.mechanisms.empty())
-        args.mechanisms = allMechanismNames();
+    const SweepSpec spec = buildSpec(args);
 
-    RunConfig cfg;
-    if (args.arbitrary) {
-        cfg.selection = TraceSelection::Arbitrary;
-        cfg.scale.arbitrary_skip = args.arb_skip;
-        cfg.scale.arbitrary_length = args.arb_length;
-    } else {
-        cfg.scale.simpoint_trace = args.trace_length;
-        cfg.scale.simpoint_interval =
-            args.interval ? args.interval : args.trace_length;
+    if (args.print_spec) {
+        // Canonical text to stdout (redirectable straight into a
+        // .sweep file), the stable hash to stderr.
+        std::fputs(spec.canonicalText().c_str(), stdout);
+        std::fprintf(stderr, "spec hash: %s\n",
+                     Fingerprint::hexOf(spec.hash()).c_str());
+        return 0;
     }
 
-    const TaskPlan plan(args.mechanisms, args.benchmarks, cfg);
+    const TaskPlan plan(spec);
 
     if (args.print_plan) {
         for (std::size_t i = 0; i < plan.size(); ++i)
@@ -278,10 +394,11 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if ((args.use_process_backend || !args.merge_inputs.empty()) &&
+    if ((args.use_process_backend || !args.merge_inputs.empty() ||
+         args.do_compact) &&
         args.store_path.empty()) {
-        std::fprintf(stderr, "--backend process and --merge need "
-                             "--store\n");
+        std::fprintf(stderr, "--backend process, --merge and "
+                             "--compact need --store\n");
         return 2;
     }
 
@@ -297,6 +414,12 @@ main(int argc, char **argv)
                     "(%zu total)\n",
                     merged, args.merge_inputs.size(),
                     args.store_path.c_str(), store->size());
+    }
+
+    if (args.do_compact) {
+        const std::size_t kept = store->compact();
+        std::printf("compacted %s to %zu record(s)\n",
+                    args.store_path.c_str(), kept);
     }
 
     EngineOptions opts;
@@ -319,17 +442,16 @@ main(int argc, char **argv)
     }
 
     ExperimentEngine engine(opts);
-    const MatrixResult res = engine.run(args.mechanisms,
-                                        args.benchmarks, cfg);
+    const SweepResult res = engine.runPlan(plan);
     const RunCounters counts = engine.lastRun();
-    std::printf("sweep %s: %zu task(s): executed %zu, resumed %zu, "
-                "skipped-by-shard %zu\n",
+    std::printf("sweep %s: %zu task(s) over %zu variant(s): executed "
+                "%zu, resumed %zu, skipped-by-shard %zu\n",
                 args.shard.whole()
                     ? (args.use_process_backend ? "(process shards)"
                                                 : "(whole plan)")
                     : ("shard " + args.shard.str()).c_str(),
-                plan.size(), counts.executed, counts.resumed,
-                counts.skipped);
+                plan.size(), plan.variantCount(), counts.executed,
+                counts.resumed, counts.skipped);
 
     if (args.do_report) {
         if (!args.shard.whole())

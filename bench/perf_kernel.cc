@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <deque>
 #include <new>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "core/baseline_config.hh"
 #include "core/registry.hh"
 #include "core/scheduler.hh"
+#include "cpu/lockstep.hh"
 #include "cpu/ooo_core.hh"
 #include "mem/const_memory.hh"
 #include "mem/hierarchy.hh"
@@ -312,6 +314,54 @@ BM_TraceViewRun(benchmark::State &state)
 }
 BENCHMARK(BM_TraceViewRun);
 
+// --- Lockstep multi-variant execution: V cores, one trace pass. ---
+//
+// BM_LockstepVariants/V advances V independent baseline cores over
+// the same 200k-record trace in one LockstepGroup::run() pass — one
+// block loop, V state machines per block. items_per_second counts
+// instructions across all V members, so dividing by BM_TraceViewRun's
+// items_per_second gives the lockstep throughput gain over V
+// independent passes (the locality win of touching each trace block
+// once while it is hot in cache). V=1 is the degenerate group; the
+// sweep path uses it only when a group has a single pending variant.
+
+void
+BM_LockstepVariants(benchmark::State &state)
+{
+    const TraceWindow window{0, 200'000};
+    const MaterializedTrace trace =
+        materialize(specProgram("crafty"), window);
+    const BaselineConfig cfg = makeBaseline();
+    const auto variants = static_cast<std::size_t>(state.range(0));
+    bool counted = false;
+    for (auto _ : state) {
+        // deque, not vector: Hierarchy is pinned (caches hold
+        // pointers into it), and deque growth never relocates.
+        std::deque<Hierarchy> hiers;
+        std::deque<OoOCore> cores;
+        LockstepGroup group;
+        for (std::size_t v = 0; v < variants; ++v) {
+            hiers.emplace_back(cfg.hier, trace.image);
+            cores.emplace_back(cfg.core);
+            group.add(cores.back(), hiers.back());
+        }
+        // run_allocs counts heap activity of one full lockstep pass
+        // (setup excluded): the block loop must stay allocation-free
+        // for any group size — CI asserts this reads 0.
+        const std::uint64_t before = t_alloc_count;
+        group.run(trace.view());
+        if (!counted) {
+            state.counters["run_allocs"] =
+                static_cast<double>(t_alloc_count - before);
+            counted = true;
+        }
+        benchmark::DoNotOptimize(group.result(variants - 1));
+    }
+    state.SetItemsProcessed(state.iterations() * window.length *
+                            variants);
+}
+BENCHMARK(BM_LockstepVariants)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // --- Matrix scheduling: per-benchmark barrier vs the engine. ---
 //
 // The two benchmarks below sweep the same small matrix. The first
@@ -437,6 +487,17 @@ main(int argc, char **argv)
     benchmark::Initialize(&n, args.data());
     if (benchmark::ReportUnrecognizedArguments(n, args.data()))
         return 1;
+    // The stock library_build_type context key reflects how
+    // *libbenchmark* was compiled (the distro package ships without
+    // NDEBUG, so it always says "debug"). Numbers depend on how
+    // *this* binary was compiled, so stamp that: the duplicate key is
+    // emitted after the stock one and last-wins in JSON parsers. CI
+    // rejects a BENCH_kernel.json whose final value is not "release".
+#ifdef NDEBUG
+    benchmark::AddCustomContext("library_build_type", "release");
+#else
+    benchmark::AddCustomContext("library_build_type", "debug");
+#endif
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -41,6 +41,7 @@ runShardWorker(const TaskPlan &plan, const std::vector<char> &done,
         opts.keep_traces = parent_ctx.opts.keep_traces;
         opts.verbose = parent_ctx.opts.verbose;
         opts.trace_budget_bytes = parent_ctx.opts.trace_budget_bytes;
+        opts.lockstep = parent_ctx.opts.lockstep;
         opts.store = &store;
         opts.shard = shard;
         if (!parent_ctx.opts.progress_path.empty())

@@ -110,6 +110,19 @@ struct EngineOptions
     /** Execution strategy; not owned, may be nullptr = the engine's
      *  built-in ThreadPoolBackend. See core/execution_backend.hh. */
     ExecutionBackend *backend = nullptr;
+
+    /**
+     * Advance the config variants of each (benchmark-window,
+     * mechanism) group in lockstep over a single trace pass — one
+     * decode, V state machines per block (cpu/lockstep.hh) — instead
+     * of re-streaming the trace once per variant. On by default;
+     * results are bit-identical either way, and the off path (each
+     * task simulated alone, today's loop) is the correctness oracle.
+     * The MICROLIB_LOCKSTEP environment variable (0 = off, 1 = on)
+     * overrides this option, so CLI sweeps can cross-check both
+     * paths without a flag — CI byte-diffs the two.
+     */
+    bool lockstep = true;
 };
 
 /** Matrix-wide experiment driver over plan + backend. */

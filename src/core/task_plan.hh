@@ -191,6 +191,24 @@ class TaskPlan
                         std::vector<char> &done) const;
 
     /**
+     * Lockstep units: the pending tasks of @p shard grouped by
+     * (trace slot, mechanism), i.e. the config variants of one
+     * (benchmark-window, mechanism) cell that share a materialized
+     * trace and can be advanced over it in a single lockstep pass
+     * (cpu/lockstep.hh). Deterministic and resume/shard-transparent:
+     * groups are ordered by their first pending member's plan index,
+     * members within a group are in plan (variant) order, and a task
+     * that is resumed or out of shard simply never appears — a
+     * partially resumed group runs only its missing variants, and
+     * the union of all groups is exactly pendingTasks(). A
+     * variant whose settings move the window lands in a different
+     * slot and therefore in its own group.
+     */
+    std::vector<std::vector<std::size_t>>
+    lockstepGroups(const std::vector<char> &done,
+                   const ShardSpec &shard) const;
+
+    /**
      * Per-trace-slot count of tasks still to execute: not marked in
      * @p done and inside @p shard. Execution backends use this as the
      * trace refcount — a slot's trace becomes evictable exactly when

@@ -1,0 +1,43 @@
+#include "cpu/lockstep.hh"
+
+#include <algorithm>
+
+#include "mem/hierarchy.hh"
+
+namespace microlib
+{
+
+void
+LockstepGroup::add(OoOCore &core, Hierarchy &mem)
+{
+    _members.push_back({&core, &mem});
+    _results.resize(_members.size());
+}
+
+void
+LockstepGroup::clear()
+{
+    _members.clear();
+    _results.clear();
+}
+
+void
+LockstepGroup::run(const TraceView &trace)
+{
+    const std::size_t n = trace.size();
+    constexpr std::size_t block = OoOCore::blockSize();
+
+    for (Member &m : _members)
+        m.core->beginRun(n, *m.mem);
+    // The single trace pass: each block is decoded from the SoA
+    // arrays once and consumed by every member while it is hot.
+    for (std::size_t base = 0; base < n; base += block) {
+        const std::size_t len = std::min(block, n - base);
+        for (Member &m : _members)
+            m.core->stepBlock(trace, *m.mem, base, len);
+    }
+    for (std::size_t i = 0; i < _members.size(); ++i)
+        _results[i] = _members[i].core->finishRun();
+}
+
+} // namespace microlib

@@ -68,9 +68,42 @@ class OoOCore
      * This is the hot path: the dependence-timestamp algebra and the
      * memory-hierarchy visits stream over the view's dense parallel
      * arrays in fixed-size blocks. Results are bit-identical to
-     * runReference() on the same record stream.
+     * runReference() on the same record stream. Implemented on the
+     * block-resumable API below (beginRun + stepBlock + finishRun),
+     * so the monolithic and lockstep paths share one loop body.
      */
     CoreResult run(const TraceView &trace, Hierarchy &mem);
+
+    // ----- block-resumable stepping (lockstep execution) ---------
+    //
+    // A run can be advanced one block at a time, with the state the
+    // monolithic loop kept in locals held in a member context
+    // instead. LockstepGroup (cpu/lockstep.hh) interleaves the
+    // blocks of several cores over a single pass of one shared
+    // TraceView: one trace decode, V state machines per block. Block
+    // boundaries carry no model state — any in-order decomposition
+    // computes the identical result — so stepping is bit-identical
+    // to run() by construction.
+
+    /** Start a block-resumable run of @p n records against @p mem:
+     *  resets the core and the in-flight run context. Allocation-free
+     *  (the history rings are sized at construction). */
+    void beginRun(std::size_t n, Hierarchy &mem);
+
+    /**
+     * Advance the in-flight run over records [@p base, @p base +
+     * @p len) of @p trace. Blocks must be fed in order and cover the
+     * trace exactly; @p mem must be the hierarchy beginRun() saw.
+     */
+    void stepBlock(const TraceView &trace, Hierarchy &mem,
+                   std::size_t base, std::size_t len);
+
+    /** Finish the in-flight run and return its results. */
+    CoreResult finishRun();
+
+    /** The fixed block length run() streams in — lockstep callers
+     *  use the same decomposition. */
+    static constexpr std::size_t blockSize() { return block_size; }
 
     /** Convenience overload: transposes @p trace into a temporary
      *  SoA and runs it. Callers holding a MaterializedTrace should
@@ -103,6 +136,22 @@ class OoOCore
     std::vector<Cycle> _dispatch; // ring: dispatch per instruction
     std::vector<Cycle> _commit;   // ring: commit per instruction
     std::vector<Cycle> _mem_complete; // ring: per memory instruction
+
+    /** In-flight state of a block-resumable run: everything the
+     *  monolithic loop held in locals, so a run survives between
+     *  stepBlock() calls while other cores advance over the same
+     *  trace. POD throughout — beginRun()'s reset never allocates. */
+    struct RunState
+    {
+        CoreResult res;          ///< counters accumulated so far
+        std::uint64_t icache_line = 1;
+        Addr last_fetch_line = invalid_addr;
+        Cycle fetch_release = 0; ///< earliest fetch after a mispredict
+        std::uint64_t mem_ops = 0;
+        std::size_t n = 0;       ///< total record count of the run
+        std::size_t pos = 0;     ///< next base stepBlock() expects
+    };
+    RunState _run;
 
     static bool deterministicMispredict(Addr pc, std::uint64_t n,
                                         double rate);

@@ -47,7 +47,23 @@ struct RunCounters
      *  process's ShardSpec. A whole-plan run always reports 0. */
     std::size_t skipped = 0;
 
-    std::size_t total() const { return executed + resumed + skipped; }
+    /** Store lines skipped as unreadable (torn tails from killed
+     *  writers, checksum mismatches) while loading/merging results
+     *  this run — durability telemetry, not missing tasks: a skipped
+     *  line's task simply re-executes. */
+    std::size_t store_skipped = 0;
+
+    /** Flat plan indices quarantined by the supervised process
+     *  backend: tasks that repeatedly crashed or wedged their worker
+     *  and were excluded so the rest of the sweep could finish. Their
+     *  matrix cells stay empty (MatrixResult::fault marks them) and
+     *  reports render them as FAULT. Empty everywhere else. */
+    std::vector<std::size_t> quarantined;
+
+    std::size_t total() const
+    {
+        return executed + resumed + skipped + quarantined.size();
+    }
 };
 
 /** Everything a backend borrows from the engine driving it. */

@@ -104,6 +104,12 @@ struct MatrixResult
     /** ipc[m][b] indexed like the name vectors. */
     std::vector<std::vector<double>> ipc;
     std::vector<std::vector<RunOutput>> outputs;
+    /** fault[m][b] != 0 marks a quarantined cell: the task repeatedly
+     *  crashed or wedged its worker and was excluded by supervision,
+     *  so ipc/outputs hold no result there. Reports render such
+     *  cells as FAULT; numeric consumers must skip them. Empty (not
+     *  just zero) when the matrix predates supervision. */
+    std::vector<std::vector<char>> fault;
 
     /**
      * Rebuild the name -> index maps behind mechIndex()/benchIndex()
@@ -116,6 +122,12 @@ struct MatrixResult
 
     std::size_t mechIndex(const std::string &name) const;
     std::size_t benchIndex(const std::string &name) const;
+
+    /** Whether cell (@p m, @p b) was quarantined (see `fault`). */
+    bool faulted(std::size_t m, std::size_t b) const
+    {
+        return !fault.empty() && fault[m][b] != 0;
+    }
 
     /** Speedup of mechanism @p m on benchmark @p b vs "Base". */
     double speedup(std::size_t m, std::size_t b) const;

@@ -11,8 +11,20 @@
  *  - each worker appends to its OWN result store
  *    (`<store>.shard<i>of<N>`), so workers never contend on a file
  *    and a killed worker's store resumes its shard on the next run;
- *  - the parent waits for all workers, merges the shard stores into
- *    the attached store by record concatenation, and fills the
+ *  - the parent SUPERVISES the workers (core/supervisor.hh, see
+ *    docs/FAULT_TOLERANCE.md): it polls instead of blocking in
+ *    waitpid, tails each worker's JSONL progress stream for
+ *    heartbeat liveness, SIGKILLs a worker that stops heartbeating
+ *    past EngineOptions::heartbeat_timeout, restarts dead/stalled
+ *    workers with exponential backoff up to
+ *    EngineOptions::max_worker_retries (the restarted worker resumes
+ *    from its shard store, so only missing tasks re-execute), and
+ *    quarantines a task that keeps killing its worker after
+ *    EngineOptions::quarantine_strikes failures — the rest of the
+ *    sweep completes, the cell is flagged in MatrixResult::fault and
+ *    listed in RunCounters::quarantined;
+ *  - once every shard finishes, the parent merges the shard stores
+ *    into the attached store by record concatenation and fills the
  *    matrix from the merged records.
  *
  * Because every record round-trips bit-exactly (hexfloat text) and

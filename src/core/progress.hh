@@ -8,19 +8,36 @@
  * one JSON line per event to that file (flushed per line, so `tail
  * -f` and remote pollers always see whole records):
  *
- *   {"event":"plan",...}   once per run(): totals, resumed/skipped
- *                          counts, the shard spec
- *   {"event":"run",...}    per finished task: benchmark, mechanism,
- *                          per-benchmark and overall completed/total
- *                          counters, elapsed seconds, ETA seconds
- *   {"event":"bench",...}  when a benchmark's last pending task of
- *                          this process finishes
- *   {"event":"done",...}   once per run(): final counters
+ *   {"event":"plan",...}      once per run(): totals, resumed/skipped
+ *                             counts, the shard spec
+ *   {"event":"heartbeat",...} per task, immediately BEFORE it
+ *                             simulates: the flat task index about to
+ *                             run (plus bench/mech). The liveness
+ *                             signal supervised sharding tails — and
+ *                             the blame evidence when the process
+ *                             dies or wedges on that task
+ *   {"event":"run",...}       per finished task: benchmark, mechanism,
+ *                             per-benchmark and overall completed/total
+ *                             counters, elapsed seconds, ETA seconds
+ *   {"event":"bench",...}     when a benchmark's last pending task of
+ *                             this process finishes
+ *   {"event":"done",...}      once per run(): final counters,
+ *                             quarantined/store_skipped included
+ *
+ * The supervising parent of a multi-process sweep adds worker
+ * lifecycle events to ITS stream: "shard" (worker launched: pid,
+ * attempt), "worker_stall" (heartbeat timeout: SIGKILL),
+ * "worker_restart" (restart verdict: retries, backoff delay),
+ * "quarantine" (a task excluded after repeated strikes) and
+ * "shard_exit" (a worker finished).
  *
  * Each shard of a multi-process sweep writes its own stream (the
  * parent derives per-shard paths), so shards are monitored
  * independently. Progress output never feeds back into results: it
  * carries wall-clock times but the determinism contract is untouched.
+ * Consumers must tolerate a torn final line — a writer can die
+ * mid-write; core/supervisor.hh's ProgressFollower (which only ever
+ * consumes completed lines) is the reference reader.
  */
 
 #ifndef MICROLIB_CORE_PROGRESS_HH

@@ -1,9 +1,12 @@
 #include "core/result_store.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -147,6 +150,25 @@ readName(std::istringstream &is, const char *prefix, std::string &out)
     return !out.empty();
 }
 
+/** FNV fingerprint of a record body — the line text up to (not
+ *  including) the " ck=" field. Catches flipped bits and spliced
+ *  lines, which the end-of-record terminator alone cannot. */
+std::uint64_t
+recordChecksum(const std::string &body)
+{
+    Fingerprint fp;
+    fp.mix(body);
+    return fp.value();
+}
+
+/** Whether MICROLIB_STORE_FSYNC asks for fsync-per-append. */
+bool
+fsyncRequested()
+{
+    const char *env = std::getenv("MICROLIB_STORE_FSYNC");
+    return env && *env && std::string(env) != "0";
+}
+
 } // namespace
 
 std::uint64_t
@@ -233,17 +255,40 @@ ResultStore::formatRecord(const ResultRecord &rec)
        << " ipc=" << exactDouble(rec.core.ipc) << " |";
     for (const auto &kv : rec.stats)
         os << ' ' << kv.first << '=' << exactDouble(kv.second);
+    // Checksum before the terminator: a proper prefix of the line
+    // must never end in the valid " ." terminator, or torn writes
+    // would parse as complete records.
+    std::string line = os.str();
+    line += " ck=";
+    line += Fingerprint::hexOf(recordChecksum(os.str()));
     // End-of-record terminator: any proper prefix of a record (a
     // torn final write) fails to parse instead of resuming with
     // silently missing or truncated stat values.
-    os << " .";
-    return os.str();
+    line += " .";
+    return line;
 }
 
 bool
 ResultStore::parseRecord(const std::string &line, ResultRecord &rec)
 {
-    std::istringstream is(line);
+    // A checksummed line is "<body> ck=<16hex> ."; verify the
+    // checksum, then reduce to the legacy "<body> ." form so one
+    // grammar parses both generations of line.
+    std::string text = line;
+    const auto ckpos = line.rfind(" ck=");
+    if (ckpos != std::string::npos) {
+        const std::string tail = line.substr(ckpos);
+        if (tail.size() != 4 + 16 + 2 ||
+            tail.compare(tail.size() - 2, 2, " .") != 0)
+            return false; // torn or malformed checksum field
+        std::uint64_t want = 0;
+        if (!Fingerprint::parseHex(tail.substr(4, 16), want))
+            return false;
+        if (recordChecksum(line.substr(0, ckpos)) != want)
+            return false; // corrupted in place, not just torn
+        text = line.substr(0, ckpos) + " .";
+    }
+    std::istringstream is(text);
     std::string tag;
     if (!(is >> tag) || tag != schemaTag(result_store_schema))
         return false;
@@ -292,16 +337,23 @@ ResultStore::parseRecord(const std::string &line, ResultRecord &rec)
     return terminated && !(is >> tok);
 }
 
-ResultStore::ResultStore(const std::string &path) : _path(path)
+ResultStore::ResultStore(const std::string &path)
+    : _path(path), _fsync(fsyncRequested())
 {
     const std::filesystem::path parent =
         std::filesystem::path(_path).parent_path();
     if (!parent.empty())
         std::filesystem::create_directories(parent);
     loadFile();
-    _append.open(_path, std::ios::app);
+    _append = std::fopen(_path.c_str(), "a");
     if (!_append)
         fatal("result store: cannot open ", _path, " for append");
+}
+
+ResultStore::~ResultStore()
+{
+    if (_append)
+        std::fclose(_append);
 }
 
 void
@@ -319,11 +371,21 @@ ResultStore::loadFile()
         if (parseRecord(line, rec))
             _records[rec.key.str()] = std::move(rec);
         else
-            ++skipped; // unknown schema or torn line: never reused
+            ++skipped; // unknown schema, torn line or bad checksum
     }
-    if (skipped)
+    if (skipped) {
+        _unreadable += skipped;
         warn("result store ", _path, ": skipped ", skipped,
-             " unreadable record(s) (older schema or torn write)");
+             " unreadable record(s) (older schema, torn write or "
+             "checksum mismatch)");
+    }
+}
+
+std::size_t
+ResultStore::unreadable() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _unreadable;
 }
 
 std::optional<ResultRecord>
@@ -340,9 +402,12 @@ void
 ResultStore::put(const ResultRecord &rec)
 {
     std::lock_guard<std::mutex> lock(_mu);
-    if (!_path.empty()) {
-        _append << formatRecord(rec) << '\n';
-        _append.flush(); // a killed sweep keeps this run
+    if (_append) {
+        const std::string line = formatRecord(rec) + '\n';
+        std::fwrite(line.data(), 1, line.size(), _append);
+        std::fflush(_append); // a killed sweep keeps this run
+        if (_fsync)
+            ::fsync(fileno(_append)); // ...and so does a killed host
     }
     _records[rec.key.str()] = rec;
 }
@@ -386,13 +451,14 @@ ResultStore::compact()
 
     // Swap the compacted file in atomically, then reopen the append
     // stream on it: later put() calls extend the compacted file.
-    _append.close();
+    std::fclose(_append);
+    _append = nullptr;
     std::error_code ec;
     std::filesystem::rename(tmp, _path, ec);
     if (ec)
         fatal("result store compact: cannot replace ", _path, ": ",
               ec.message());
-    _append.open(_path, std::ios::app);
+    _append = std::fopen(_path.c_str(), "a");
     if (!_append)
         fatal("result store compact: cannot reopen ", _path);
     return _records.size();
@@ -433,9 +499,14 @@ ResultStore::merge(const std::string &input_path)
         put(rec);
         ++merged;
     }
-    if (skipped)
+    if (skipped) {
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            _unreadable += skipped;
+        }
         warn("result store merge from ", input_path, ": skipped ",
              skipped, " unreadable record(s)");
+    }
     return merged;
 }
 

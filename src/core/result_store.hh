@@ -20,17 +20,22 @@
  *
  * The file is append-only with no header; each line stands alone.
  * Two stores (e.g. from sharded sweeps on different hosts) merge by
- * concatenating their files. Lines with an unknown schema tag or a
- * parse error are skipped on load, so a schema bump never corrupts a
+ * concatenating their files. Lines with an unknown schema tag, a
+ * parse error, or a per-record FNV checksum mismatch (the trailing
+ * `ck=` field catches bit rot and splices, not just torn tails) are
+ * skipped on load and counted (unreadable(), surfaced as
+ * RunCounters::store_skipped), so a schema bump never corrupts a
  * reader and a record torn by a crash mid-write costs exactly one
- * run. See docs/RESULT_STORE.md for the on-disk format.
+ * run. Setting MICROLIB_STORE_FSYNC=1 upgrades the per-put flush to
+ * an fsync, trading append throughput for power-loss durability.
+ * See docs/RESULT_STORE.md for the on-disk format.
  */
 
 #ifndef MICROLIB_CORE_RESULT_STORE_HH
 #define MICROLIB_CORE_RESULT_STORE_HH
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -120,8 +125,12 @@ class ResultStore
     ResultStore() = default;
 
     /** File-backed store: loads existing records from @p path (parent
-     *  directories are created; a missing file is an empty store). */
+     *  directories are created; a missing file is an empty store).
+     *  MICROLIB_STORE_FSYNC=1 in the environment makes every put()
+     *  fsync the backing file, not just flush it. */
     explicit ResultStore(const std::string &path);
+
+    ~ResultStore();
 
     ResultStore(const ResultStore &) = delete;
     ResultStore &operator=(const ResultStore &) = delete;
@@ -168,11 +177,19 @@ class ResultStore
 
     const std::string &path() const { return _path; }
 
-    /** Serialize @p rec as one store line (no trailing newline). */
+    /** Lines skipped as unreadable (unknown schema, torn write,
+     *  checksum mismatch) by this store's loads and merges so far —
+     *  durability telemetry; each such line's task just re-executes. */
+    std::size_t unreadable() const;
+
+    /** Serialize @p rec as one store line (no trailing newline),
+     *  trailing `ck=` checksum included. */
     static std::string formatRecord(const ResultRecord &rec);
 
-    /** Parse one store line; false on unknown schema or any parse
-     *  error (the caller skips such lines). */
+    /** Parse one store line; false on unknown schema, any parse
+     *  error, or a `ck=` checksum mismatch (the caller skips such
+     *  lines). Lines without a checksum field — written before the
+     *  field existed — still parse. */
     static bool parseRecord(const std::string &line, ResultRecord &rec);
 
   private:
@@ -180,7 +197,9 @@ class ResultStore
 
     std::string _path;           ///< empty = memory-only
     mutable std::mutex _mu;
-    std::ofstream _append;
+    std::FILE *_append = nullptr; ///< append stream (FILE*: fsync needs a fd)
+    bool _fsync = false;          ///< MICROLIB_STORE_FSYNC=1
+    std::size_t _unreadable = 0;
     std::unordered_map<std::string, ResultRecord> _records;
 };
 

@@ -185,6 +185,10 @@ ExperimentEngine::runPlan(const TaskPlan &plan)
     }
 
     backend->execute(plan, done, ctx, res, _last);
+    // Cumulative unreadable-line count across this store's loads and
+    // merges — the durability telemetry behind the checksum field.
+    if (_opts.store)
+        _last.store_skipped = _opts.store->unreadable();
 
     if (progress.enabled())
         progress.write(ProgressEvent("done")
@@ -192,7 +196,11 @@ ExperimentEngine::runPlan(const TaskPlan &plan)
                            .field("shard", _opts.shard.str())
                            .field("executed", _last.executed)
                            .field("resumed", _last.resumed)
-                           .field("skipped", _last.skipped));
+                           .field("skipped", _last.skipped)
+                           .field("quarantined",
+                                  _last.quarantined.size())
+                           .field("store_skipped",
+                                  _last.store_skipped));
     return res;
 }
 

@@ -647,31 +647,53 @@ sensitivityTable(const SweepResult &res)
     const bool vs_base =
         std::find(first.mechanisms.begin(), first.mechanisms.end(),
                   "Base") != first.mechanisms.end();
+    const std::size_t base_row =
+        vs_base ? first.mechIndex("Base") : 0;
 
-    std::vector<std::vector<double>> cells(
-        first.mechanisms.size(),
-        std::vector<double>(res.matrices.size(), 0.0));
-    for (std::size_t v = 0; v < res.matrices.size(); ++v) {
-        const MatrixResult &m = res.matrices[v];
-        for (std::size_t row = 0; row < m.mechanisms.size(); ++row) {
+    // Built row by row rather than through crossTable: a cell whose
+    // mean draws on any quarantined (benchmark, mechanism) result —
+    // the Base row included, for speedups — has no honest number and
+    // renders as FAULT instead. Cell text is otherwise identical to
+    // the crossTable form (Table::num, default precision), so a
+    // fault-free sweep renders byte-identically to before.
+    Table t(vs_base ? "config sensitivity: mean speedup vs Base"
+                    : "config sensitivity: mean IPC");
+    std::vector<std::string> header;
+    header.push_back("mechanism");
+    header.insert(header.end(), res.variants.begin(),
+                  res.variants.end());
+    t.header(std::move(header));
+    for (std::size_t row = 0; row < first.mechanisms.size(); ++row) {
+        std::vector<std::string> cells;
+        cells.push_back(first.mechanisms[row]);
+        for (std::size_t v = 0; v < res.matrices.size(); ++v) {
+            const MatrixResult &m = res.matrices[v];
+            bool faulted = false;
+            for (std::size_t b = 0; b < m.benchmarks.size(); ++b)
+                if (m.faulted(row, b) ||
+                    (vs_base && m.faulted(base_row, b)))
+                    faulted = true;
+            if (faulted) {
+                cells.push_back("FAULT");
+                continue;
+            }
+            double value = 0.0;
             if (vs_base) {
-                cells[row][v] = m.avgSpeedup(row);
+                value = m.avgSpeedup(row);
             } else {
                 double sum = 0.0;
                 for (std::size_t b = 0; b < m.benchmarks.size(); ++b)
                     sum += m.ipc[row][b];
-                cells[row][v] =
-                    m.benchmarks.empty()
-                        ? 0.0
-                        : sum / static_cast<double>(m.benchmarks.size());
+                value = m.benchmarks.empty()
+                            ? 0.0
+                            : sum / static_cast<double>(
+                                        m.benchmarks.size());
             }
+            cells.push_back(Table::num(value));
         }
+        t.row(std::move(cells));
     }
-    return crossTable(vs_base
-                          ? "config sensitivity: mean speedup vs Base"
-                          : "config sensitivity: mean IPC",
-                      "mechanism", first.mechanisms, res.variants,
-                      cells);
+    return t;
 }
 
 } // namespace microlib

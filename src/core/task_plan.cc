@@ -128,6 +128,8 @@ TaskPlan::emptyResult() const
                      std::vector<double>(_benchmarks.size(), 0.0));
         m.outputs.assign(_mechanisms.size(),
                          std::vector<RunOutput>(_benchmarks.size()));
+        m.fault.assign(_mechanisms.size(),
+                       std::vector<char>(_benchmarks.size(), 0));
         m.buildIndices();
         res.matrices.push_back(std::move(m));
     }

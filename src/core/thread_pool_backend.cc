@@ -8,6 +8,7 @@
 #include "core/progress.hh"
 #include "core/result_store.hh"
 #include "core/scheduler.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace microlib
@@ -178,6 +179,25 @@ ThreadPoolBackend::drain(State &st)
             }
         }
 
+        // Liveness + fault injection, per member, before any
+        // simulation work: the heartbeat names the flat task index
+        // about to run (flushed per line), so if this process now
+        // dies or wedges — for real or because an armed FaultClause
+        // fires at exactly this index — a supervising parent's last
+        // heartbeat blames the right task.
+        FaultInjector &injector = FaultInjector::instance();
+        for (const std::size_t flat : group) {
+            if (st.ctx.progress)
+                st.ctx.progress->write(
+                    ProgressEvent("heartbeat")
+                        .field("task", st.plan.task(flat).index)
+                        .field("bench", benchmark)
+                        .field("mech", mechanism)
+                        .field("elapsed_s", secondsSince(st.start)));
+            if (injector.armed())
+                injector.checkpoint(st.plan.task(flat).index);
+        }
+
         // Simulate: one lockstep pass over the shared trace for a
         // multi-variant group, the classic single run otherwise.
         std::vector<RunOutput> outs;
@@ -290,6 +310,12 @@ ThreadPoolBackend::execute(const TaskPlan &plan,
                            const ExecutionContext &ctx,
                            SweepResult &res, RunCounters &counters)
 {
+    // (Re)arm fault injection from the environment every execute():
+    // a forked shard worker inherits the parent's (possibly inert)
+    // singleton, and the worker may also carry a different
+    // MICROLIB_FAULT_STATE than its parent did.
+    FaultInjector::instance().armFromEnv();
+
     State st(plan, done, ctx, res, counters.resumed);
     // Skipped-by-shard = pending anywhere minus pending here.
     counters.skipped =

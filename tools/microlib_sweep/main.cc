@@ -73,6 +73,9 @@ struct SweepArgs
     std::size_t trace_budget_mb = 0;
     bool use_process_backend = false;
     std::size_t process_shards = 2;
+    double heartbeat_timeout = 0.0; // seconds; 0 = stall detection off
+    std::size_t worker_retries = 2;
+    std::size_t quarantine_strikes = 3;
     bool print_plan = false;
     bool print_spec = false;
     bool do_report = false;
@@ -108,6 +111,17 @@ usage(const char *argv0)
         "  --backend process   fork shard workers in this invocation\n"
         "  --shards N          worker count for --backend process\n"
         "                      (default 2)\n"
+        "  --heartbeat-timeout SEC\n"
+        "                      SIGKILL + restart a shard worker whose\n"
+        "                      progress stream is silent for SEC\n"
+        "                      seconds (must exceed the longest task;\n"
+        "                      default 0 = stall detection off)\n"
+        "  --retries N         restarts allowed per shard worker\n"
+        "                      before the sweep fails (default 2)\n"
+        "  --strikes K         failures blamed on one task before it\n"
+        "                      is quarantined — excluded, its cells\n"
+        "                      reported FAULT, exit status 3\n"
+        "                      (default 3; 0 disables quarantine)\n"
         "  --threads N         engine worker threads (default:\n"
         "                      MICROLIB_THREADS or hardware)\n"
         "  --trace-budget-mb N trace-cache byte budget\n"
@@ -251,8 +265,14 @@ writeReport(std::FILE *out, const SweepResult &res)
         std::fprintf(out, "\n");
         for (std::size_t mi = 0; mi < m.mechanisms.size(); ++mi) {
             std::fprintf(out, "%-8s", m.mechanisms[mi].c_str());
-            for (std::size_t b = 0; b < m.benchmarks.size(); ++b)
-                std::fprintf(out, "%12.6f", m.ipc[mi][b]);
+            for (std::size_t b = 0; b < m.benchmarks.size(); ++b) {
+                // A quarantined cell holds no result; an explicit
+                // FAULT marker beats a misleading 0.000000.
+                if (m.faulted(mi, b))
+                    std::fprintf(out, "%12s", "FAULT");
+                else
+                    std::fprintf(out, "%12.6f", m.ipc[mi][b]);
+            }
             std::fprintf(out, "\n");
         }
     }
@@ -347,6 +367,22 @@ main(int argc, char **argv)
         } else if (flag == "--shards") {
             args.process_shards = static_cast<std::size_t>(
                 parseU64("--shards", value("--shards")));
+        } else if (flag == "--heartbeat-timeout") {
+            const std::string v = value("--heartbeat-timeout");
+            char *end = nullptr;
+            args.heartbeat_timeout = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                args.heartbeat_timeout < 0) {
+                std::fprintf(stderr, "--heartbeat-timeout wants "
+                                     "seconds >= 0\n");
+                return 2;
+            }
+        } else if (flag == "--retries") {
+            args.worker_retries = static_cast<std::size_t>(
+                parseU64("--retries", value("--retries")));
+        } else if (flag == "--strikes") {
+            args.quarantine_strikes = static_cast<std::size_t>(
+                parseU64("--strikes", value("--strikes")));
         } else if (flag == "--plan") {
             args.print_plan = true;
         } else if (flag == "--print-spec") {
@@ -429,6 +465,9 @@ main(int argc, char **argv)
     opts.shard = args.shard;
     opts.progress_path = args.progress_path;
     opts.trace_budget_bytes = args.trace_budget_mb * 1024 * 1024;
+    opts.heartbeat_timeout = args.heartbeat_timeout;
+    opts.max_worker_retries = args.worker_retries;
+    opts.quarantine_strikes = args.quarantine_strikes;
 
     ProcessShardBackend process_backend(
         ProcessShardOptions{args.process_shards, args.threads, false});
@@ -442,7 +481,16 @@ main(int argc, char **argv)
     }
 
     ExperimentEngine engine(opts);
-    const SweepResult res = engine.runPlan(plan);
+    SweepResult res;
+    try {
+        res = engine.runPlan(plan);
+    } catch (const std::exception &e) {
+        // A sweep the supervisor gave up on (retry budget spent, or
+        // supervision disabled); the store keeps every finished run
+        // for the next attempt's resume.
+        std::fprintf(stderr, "sweep failed: %s\n", e.what());
+        return 1;
+    }
     const RunCounters counts = engine.lastRun();
     std::printf("sweep %s: %zu task(s) over %zu variant(s): executed "
                 "%zu, resumed %zu, skipped-by-shard %zu\n",
@@ -452,6 +500,12 @@ main(int argc, char **argv)
                     : ("shard " + args.shard.str()).c_str(),
                 plan.size(), plan.variantCount(), counts.executed,
                 counts.resumed, counts.skipped);
+    if (counts.store_skipped)
+        std::printf("store: skipped %zu unreadable record line(s)\n",
+                    counts.store_skipped);
+    for (const std::size_t q : counts.quarantined)
+        std::printf("quarantined: %s\n",
+                    plan.describe(q, args.shard).c_str());
 
     if (args.do_report) {
         if (!args.shard.whole())
@@ -473,5 +527,8 @@ main(int argc, char **argv)
                         args.report_path.c_str());
         }
     }
-    return 0;
+    // Distinct status for a sweep that completed only by quarantining
+    // poison tasks: scripted callers must not mistake a FAULT-marked
+    // report for a clean one (0 = clean, 1 = failed, 2 = usage).
+    return counts.quarantined.empty() ? 0 : 3;
 }

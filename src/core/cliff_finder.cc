@@ -1,0 +1,453 @@
+#include "core/cliff_finder.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/ranking.hh"
+#include "core/scheduler.hh"
+#include "sim/config.hh"
+#include "sim/fingerprint.hh"
+#include "sim/logging.hh"
+
+namespace microlib
+{
+
+namespace
+{
+
+/** log2 of a power of two. */
+unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/** The probe mechanism list: "Base" (speedups are relative to it)
+ *  followed by the compared pair, duplicates dropped. */
+std::vector<std::string>
+probeMechanisms(const std::string &a, const std::string &b)
+{
+    std::vector<std::string> mechs{"Base"};
+    if (a != "Base")
+        mechs.push_back(a);
+    if (b != "Base" && b != a)
+        mechs.push_back(b);
+    return mechs;
+}
+
+/** "hier.l2.size" -> "hier-l2-size": a filename-safe axis key. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out = key;
+    std::replace(out.begin(), out.end(), '.', '-');
+    return out;
+}
+
+const char *
+scaleName(AxisScale scale)
+{
+    switch (scale) {
+    case AxisScale::Linear:
+        return "linear";
+    case AxisScale::Pow2:
+        return "pow2";
+    case AxisScale::None:
+        break;
+    }
+    return "none";
+}
+
+/** Shortest round-trip double text ("%.17g"): byte-stable for
+ *  bit-identical inputs, which every probe result is. */
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** One probe as a JSON object (fixed key order). */
+std::string
+jsonProbe(const CliffProbe &p, const std::string &a,
+          const std::string &b)
+{
+    if (!p.evaluated)
+        return "null";
+    std::string out = "{\"value\": " + std::to_string(p.value);
+    if (p.faulted) {
+        out += ", \"winner\": \"FAULT\"}";
+        return out;
+    }
+    out += ", \"speedup_a\": " + jsonDouble(p.speedup_a);
+    out += ", \"speedup_b\": " + jsonDouble(p.speedup_b);
+    out += ", \"winner\": \"" + (p.a_wins ? a : b) + "\"}";
+    return out;
+}
+
+} // namespace
+
+const char *
+cliffStatusName(CliffStatus status)
+{
+    switch (status) {
+    case CliffStatus::Flip:
+        return "flip";
+    case CliffStatus::NoFlip:
+        return "noflip";
+    case CliffStatus::Faulted:
+        return "faulted";
+    }
+    return "?";
+}
+
+std::uint64_t
+axisMidpoint(AxisScale scale, std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo >= hi)
+        panic("axisMidpoint: lo ", lo, " >= hi ", hi);
+    switch (scale) {
+    case AxisScale::Linear:
+        if (hi - lo <= 1)
+            return 0;
+        return lo + (hi - lo) / 2;
+    case AxisScale::Pow2: {
+        const unsigned llo = log2Exact(lo), lhi = log2Exact(hi);
+        if (lhi - llo <= 1)
+            return 0;
+        return std::uint64_t{1} << ((llo + lhi) / 2);
+    }
+    case AxisScale::None:
+        break;
+    }
+    panic("axisMidpoint: axis is not searchable");
+}
+
+std::size_t
+bisectionBound(AxisScale scale, std::uint64_t lo, std::uint64_t hi)
+{
+    std::uint64_t steps = 0;
+    switch (scale) {
+    case AxisScale::Linear:
+        steps = hi - lo;
+        break;
+    case AxisScale::Pow2:
+        steps = log2Exact(hi) - log2Exact(lo);
+        break;
+    case AxisScale::None:
+        panic("bisectionBound: axis is not searchable");
+    }
+    // Each iteration leaves at most ceil(steps / 2) legal increments
+    // in the bracket, so ceil(log2(steps)) iterations reach an
+    // adjacent pair; plus the two endpoint probes.
+    const std::size_t iters =
+        steps <= 1 ? 0 : static_cast<std::size_t>(
+                             std::bit_width(steps - 1));
+    return 2 + iters;
+}
+
+CliffResult
+bisectCliff(AxisScale scale, std::uint64_t lo, std::uint64_t hi,
+            const CliffProber &probe)
+{
+    if (lo >= hi)
+        panic("bisectCliff: lo ", lo, " >= hi ", hi);
+    CliffResult r;
+    r.lo = probe(lo);
+    r.lo.evaluated = true;
+    r.probes.push_back(r.lo);
+    if (r.lo.faulted) {
+        r.status = CliffStatus::Faulted;
+        return r;
+    }
+    r.hi = probe(hi);
+    r.hi.evaluated = true;
+    r.probes.push_back(r.hi);
+    if (r.hi.faulted) {
+        r.status = CliffStatus::Faulted;
+        return r;
+    }
+    if (r.lo.a_wins == r.hi.a_wins) {
+        r.status = CliffStatus::NoFlip;
+        return r;
+    }
+    // Invariant: lo.a_wins != hi.a_wins. Each midpoint probe
+    // replaces the endpoint it agrees with, so the invariant holds
+    // until the bracket is adjacent — a genuine flip.
+    while (const std::uint64_t mid =
+               axisMidpoint(scale, r.lo.value, r.hi.value)) {
+        CliffProbe p = probe(mid);
+        p.evaluated = true;
+        r.probes.push_back(p);
+        if (p.faulted) {
+            r.status = CliffStatus::Faulted;
+            return r;
+        }
+        (p.a_wins == r.lo.a_wins ? r.lo : r.hi) = p;
+    }
+    r.status = CliffStatus::Flip;
+    return r;
+}
+
+CliffFinder::CliffFinder(ExperimentEngine &engine, SweepSpec base,
+                         CliffFinderOptions opts)
+    : _engine(engine), _base(std::move(base)), _opts(std::move(opts))
+{
+}
+
+bool
+CliffFinder::searchable(const std::string &axis_key,
+                        std::string *error) const
+{
+    auto failWith = [&](const std::string &msg) {
+        if (error)
+            *error = "axis '" + axis_key + "': " + msg;
+        return false;
+    };
+    const AxisDecl *decl = nullptr;
+    for (const auto &a : _base.axes())
+        if (a.key == axis_key)
+            decl = &a;
+    if (!decl)
+        return failWith("not declared in the spec (the declared "
+                        "values are the search endpoints)");
+    const AxisParam *param = findAxisParam(axis_key);
+    if (!param)
+        return failWith("not in the parameter registry");
+    if (param->scale == AxisScale::None)
+        return failWith("not numeric: cannot bisect");
+    std::uint64_t lo = 0, hi = 0;
+    bool first = true;
+    for (const auto &v : decl->values) {
+        std::uint64_t n = 0;
+        if (!parseScaledU64(v, n))
+            return failWith("value '" + v + "' is not a number");
+        if (param->scale == AxisScale::Pow2 &&
+            !std::has_single_bit(n))
+            return failWith("value '" + v +
+                            "' is not a power of two");
+        lo = first ? n : std::min(lo, n);
+        hi = first ? n : std::max(hi, n);
+        first = false;
+    }
+    if (lo == hi)
+        return failWith("needs two distinct values as endpoints");
+    return true;
+}
+
+std::vector<std::string>
+CliffFinder::searchableAxes() const
+{
+    std::vector<std::string> out;
+    for (const auto &a : _base.axes())
+        if (searchable(a.key))
+            out.push_back(a.key);
+    return out;
+}
+
+CliffProbe
+CliffFinder::probePoint(const std::string &axis_key,
+                        std::uint64_t value, CliffResult &r)
+{
+    SweepSpec slice;
+    std::string error;
+    if (!_base.axisSlice(probeMechanisms(r.mech_a, r.mech_b), axis_key,
+                         {std::to_string(value)}, slice, &error))
+        fatal("cliff probe ", axis_key, "=", value, ": ", error);
+
+    const SweepResult res = _engine.run(slice);
+    const RunCounters counts = _engine.lastRun();
+    r.executed += counts.executed;
+    r.resumed += counts.resumed;
+
+    CliffProbe p;
+    p.value = value;
+    const MatrixResult &m = res.matrices.front();
+    for (std::size_t mi = 0; mi < m.mechanisms.size() && !p.faulted;
+         ++mi)
+        for (std::size_t b = 0; b < m.benchmarks.size(); ++b)
+            if (m.faulted(mi, b))
+                p.faulted = true;
+    if (!p.faulted) {
+        p.speedup_a = m.avgSpeedup(m.mechIndex(r.mech_a));
+        p.speedup_b = m.avgSpeedup(m.mechIndex(r.mech_b));
+        p.a_wins = rankBefore({r.mech_a, p.speedup_a, 0},
+                              {r.mech_b, p.speedup_b, 0});
+    }
+    if (_opts.verbose)
+        inform("cliff probe ", axis_key, "=", value, ": ",
+               p.faulted
+                   ? "FAULT"
+                   : (r.mech_a + " " + Table::num(p.speedup_a) +
+                      " vs " + r.mech_b + " " +
+                      Table::num(p.speedup_b) + " -> " +
+                      (p.a_wins ? r.mech_a : r.mech_b)),
+               " (executed ", counts.executed, ", resumed ",
+               counts.resumed, ")");
+    return p;
+}
+
+CliffResult
+CliffFinder::find(const std::string &mech_a, const std::string &mech_b,
+                  const std::string &axis_key)
+{
+    std::string error;
+    if (!searchable(axis_key, &error))
+        fatal("cliff search: ", error);
+    const AxisParam *param = findAxisParam(axis_key);
+
+    std::uint64_t lo = 0, hi = 0;
+    bool first = true;
+    for (const auto &a : _base.axes()) {
+        if (a.key != axis_key)
+            continue;
+        for (const auto &v : a.values) {
+            std::uint64_t n = 0;
+            parseScaledU64(v, n);
+            lo = first ? n : std::min(lo, n);
+            hi = first ? n : std::max(hi, n);
+            first = false;
+        }
+    }
+
+    CliffResult shell;
+    shell.axis = axis_key;
+    shell.mech_a = mech_a;
+    shell.mech_b = mech_b;
+    CliffResult r = bisectCliff(
+        param->scale, lo, hi, [&](std::uint64_t value) {
+            return probePoint(axis_key, value, shell);
+        });
+    r.axis = shell.axis;
+    r.mech_a = shell.mech_a;
+    r.mech_b = shell.mech_b;
+    r.executed = shell.executed;
+    r.resumed = shell.resumed;
+
+    if (!_opts.witness_dir.empty())
+        writeWitness(r);
+    return r;
+}
+
+std::vector<CliffResult>
+CliffFinder::findAll(const std::string &mech_a,
+                     const std::string &mech_b)
+{
+    std::vector<CliffResult> out;
+    for (const auto &axis : searchableAxes())
+        out.push_back(find(mech_a, mech_b, axis));
+    return out;
+}
+
+SweepSpec
+CliffFinder::witnessSpec(const CliffResult &r) const
+{
+    SweepSpec witness;
+    std::string error;
+    if (!_base.axisSlice(probeMechanisms(r.mech_a, r.mech_b), r.axis,
+                         {std::to_string(r.lo.value),
+                          std::to_string(r.hi.value)},
+                         witness, &error))
+        fatal("cliff witness ", r.axis, ": ", error);
+    return witness;
+}
+
+void
+CliffFinder::writeWitness(CliffResult &r)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(_opts.witness_dir, ec);
+    if (ec)
+        fatal("cannot create witness dir ", _opts.witness_dir, ": ",
+              ec.message());
+
+    const std::string stem = "cliff__" + sanitizeKey(r.axis) + "__" +
+                             r.mech_a + "_vs_" + r.mech_b;
+    const AxisParam *param = findAxisParam(r.axis);
+
+    // The .sweep witness only exists for a genuine flip: a minimal
+    // 2-variant spec whose replay reproduces the ranking inversion.
+    std::string sweep_name;
+    std::uint64_t witness_hash = 0;
+    if (r.status == CliffStatus::Flip) {
+        const SweepSpec witness = witnessSpec(r);
+        witness_hash = witness.hash();
+        sweep_name = stem + ".sweep";
+        const fs::path path = fs::path(_opts.witness_dir) / sweep_name;
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot write witness ", path.string());
+        out << witness.canonicalText();
+        r.witness_path = path.string();
+    }
+
+    // The JSON summary is written for every search (noflip and
+    // faulted included), so a witness directory is a complete,
+    // byte-diffable record of what a search concluded.
+    const fs::path jpath =
+        fs::path(_opts.witness_dir) / (stem + ".json");
+    std::ofstream j(jpath, std::ios::trunc);
+    if (!j)
+        fatal("cannot write witness summary ", jpath.string());
+    j << "{\n";
+    j << "  \"axis\": \"" << r.axis << "\",\n";
+    j << "  \"scale\": \"" << scaleName(param->scale) << "\",\n";
+    j << "  \"mech_a\": \"" << r.mech_a << "\",\n";
+    j << "  \"mech_b\": \"" << r.mech_b << "\",\n";
+    j << "  \"status\": \"" << cliffStatusName(r.status) << "\",\n";
+    j << "  \"lo\": " << jsonProbe(r.lo, r.mech_a, r.mech_b) << ",\n";
+    j << "  \"hi\": " << jsonProbe(r.hi, r.mech_a, r.mech_b) << ",\n";
+    j << "  \"probes\": " << r.probes.size() << ",\n";
+    if (sweep_name.empty()) {
+        j << "  \"witness_sweep\": null\n";
+    } else {
+        j << "  \"witness_sweep\": \"" << sweep_name << "\",\n";
+        j << "  \"witness_hash\": \""
+          << Fingerprint::hexOf(witness_hash) << "\"\n";
+    }
+    j << "}\n";
+}
+
+Table
+CliffFinder::report(const std::vector<CliffResult> &results)
+{
+    std::string pair;
+    if (!results.empty())
+        pair = ": " + results.front().mech_a + " vs " +
+               results.front().mech_b;
+    Table t("cliff report" + pair);
+    t.header({"axis", "status", "bracket", "A@lo", "B@lo", "A@hi",
+              "B@hi", "probes"});
+    for (const auto &r : results) {
+        std::vector<std::string> cells;
+        cells.push_back(r.axis);
+        cells.push_back(cliffStatusName(r.status));
+        std::string bracket =
+            r.lo.evaluated ? std::to_string(r.lo.value) : "-";
+        bracket += "..";
+        bracket += r.hi.evaluated ? std::to_string(r.hi.value) : "-";
+        cells.push_back(std::move(bracket));
+        for (const CliffProbe *p : {&r.lo, &r.hi}) {
+            if (!p->evaluated) {
+                cells.push_back("-");
+                cells.push_back("-");
+            } else if (p->faulted) {
+                cells.push_back("FAULT");
+                cells.push_back("FAULT");
+            } else {
+                cells.push_back(Table::num(p->speedup_a));
+                cells.push_back(Table::num(p->speedup_b));
+            }
+        }
+        cells.push_back(std::to_string(r.probes.size()));
+        t.row(std::move(cells));
+    }
+    return t;
+}
+
+} // namespace microlib

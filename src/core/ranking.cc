@@ -7,6 +7,14 @@
 namespace microlib
 {
 
+bool
+rankBefore(const RankEntry &a, const RankEntry &b)
+{
+    if (a.avg_speedup != b.avg_speedup)
+        return a.avg_speedup > b.avg_speedup;
+    return a.mechanism < b.mechanism;
+}
+
 std::vector<RankEntry>
 rankMechanisms(const MatrixResult &matrix,
                const std::vector<std::size_t> &subset)
@@ -18,10 +26,7 @@ rankMechanisms(const MatrixResult &matrix,
         e.avg_speedup = matrix.avgSpeedup(m, subset);
         entries.push_back(e);
     }
-    std::stable_sort(entries.begin(), entries.end(),
-                     [](const RankEntry &a, const RankEntry &b) {
-                         return a.avg_speedup > b.avg_speedup;
-                     });
+    std::sort(entries.begin(), entries.end(), rankBefore);
     for (std::size_t i = 0; i < entries.size(); ++i)
         entries[i].rank = static_cast<unsigned>(i + 1);
     return entries;

@@ -28,9 +28,21 @@ struct RankEntry
 };
 
 /**
+ * The total order every ranking uses: higher average speedup first,
+ * exact ties broken by acronym (byte-wise ascending). The tie rule
+ * makes "which mechanism wins" a pure function of the (speedup,
+ * acronym) pairs — two matrices listing the same mechanisms in
+ * different row order rank identically, which cliff detection
+ * (core/cliff_finder.hh) depends on: a ranking flip along an axis
+ * must mean the results changed, never that the catalog order did.
+ */
+bool rankBefore(const RankEntry &a, const RankEntry &b);
+
+/**
  * Rank all mechanisms of @p matrix by average speedup over
  * @p subset (benchmark indices; empty = all benchmarks).
- * Entries come back sorted best-first.
+ * Entries come back sorted best-first under rankBefore() — a
+ * deterministic total order independent of the matrix's row order.
  */
 std::vector<RankEntry> rankMechanisms(
     const MatrixResult &matrix,

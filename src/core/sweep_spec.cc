@@ -58,6 +58,8 @@ u64Param(const char *key, const char *what,
         field(cfg) = n;
         return true;
     };
+    p.scale = AxisScale::Linear;
+    p.search_min = min_value;
     return p;
 }
 
@@ -80,6 +82,8 @@ unsignedParam(const char *key, const char *what,
         field(cfg) = static_cast<unsigned>(n);
         return true;
     };
+    p.scale = AxisScale::Linear;
+    p.search_min = min_value;
     return p;
 }
 
@@ -137,9 +141,15 @@ addCacheParams(std::vector<AxisParam> &out, const char *level,
         [cache](RunConfig &c) -> std::uint64_t & {
             return cache(c).size;
         }));
+    // Sizes and associativities are power-of-two quantities: the
+    // cache model requires a power-of-two set count, so "the next
+    // size" means doubling, not +1 — searches must bisect these in
+    // log space.
+    out.back().scale = AxisScale::Pow2;
     out.push_back(unsignedParam(
         (prefix + "assoc").c_str(), (name + " associativity").c_str(),
         [cache](RunConfig &c) -> unsigned & { return cache(c).assoc; }));
+    out.back().scale = AxisScale::Pow2;
     out.push_back(u64Param(
         (prefix + "latency").c_str(),
         (name + " access latency in cycles").c_str(),
@@ -616,6 +626,32 @@ SweepSpec::variants() const
         out.push_back(std::move(v));
     }
     return out;
+}
+
+bool
+SweepSpec::axisSlice(const std::vector<std::string> &mechanisms,
+                     const std::string &axis_key,
+                     const std::vector<std::string> &values,
+                     SweepSpec &out, std::string *error) const
+{
+    if (values.empty())
+        return fail(error, "axisSlice: no values for axis '" +
+                               axis_key + "'");
+    SweepSpec slice;
+    slice._benchmarks = _benchmarks;
+    slice._mechanisms = mechanisms;
+    slice._base_cfg = _base_cfg;
+    slice._base = _base;
+    for (const auto &a : _axes) {
+        if (a.key == axis_key)
+            continue;
+        if (!slice.addBase(a.key, a.values.front(), error))
+            return false;
+    }
+    if (!slice.addAxis(axis_key, values, error))
+        return false;
+    out = std::move(slice);
+    return true;
 }
 
 RunConfig

@@ -49,6 +49,26 @@
 namespace microlib
 {
 
+/**
+ * Legal granularity of a parameter's numeric domain — what "the next
+ * value" means when a search bisects along the axis
+ * (core/cliff_finder.hh).
+ *
+ *  - None:   not a searchable number (enums, booleans, fractions);
+ *            sweeps may still enumerate its values explicitly.
+ *  - Linear: any integer >= the parameter's minimum; adjacent values
+ *            differ by 1 (widths, counts, latencies).
+ *  - Pow2:   powers of two only (cache sizes and associativities —
+ *            the cache model requires a power-of-two set count);
+ *            adjacent values differ by a factor of 2.
+ */
+enum class AxisScale
+{
+    None,
+    Linear,
+    Pow2,
+};
+
 /** One settable parameter of the axis registry. */
 struct AxisParam
 {
@@ -59,6 +79,10 @@ struct AxisParam
     std::function<bool(RunConfig &cfg, const std::string &value,
                        std::string *error)>
         apply;
+    /** Numeric granularity for axis searches (None = unsearchable). */
+    AxisScale scale = AxisScale::None;
+    /** Smallest legal value on a searchable axis. */
+    std::uint64_t search_min = 1;
 };
 
 /** Every parameter a spec may set, in canonical (docs) order. */
@@ -180,6 +204,26 @@ class SweepSpec
      *  registry rejects (specs built through addBase/addAxis/parse
      *  were already validated). */
     RunConfig resolve(const ConfigVariant &variant) const;
+
+    /**
+     * Synthesize the spec of one slice of this sweep's axis space:
+     * the same benchmarks and base settings, the mechanism list
+     * replaced by @p mechanisms, every axis other than @p axis_key
+     * pinned at its first declared value (appended as a base setting,
+     * in axis order), and @p axis_key declared as the sole axis over
+     * @p values. The cliff finder builds every probe (one value) and
+     * every flip witness (the two bracket values) through this: a
+     * probe's resolved config differs from the parent sweep's
+     * matching variant only where the parent's axes were pinned, so
+     * result-store fingerprints dedupe shared points. @p axis_key
+     * need not be declared in this spec, but must be a registry key
+     * and accept every value. False + *error on a bad key/value or
+     * empty @p values.
+     */
+    bool axisSlice(const std::vector<std::string> &mechanisms,
+                   const std::string &axis_key,
+                   const std::vector<std::string> &values,
+                   SweepSpec &out, std::string *error = nullptr) const;
 
   private:
     std::vector<std::string> _benchmarks;

@@ -1,0 +1,480 @@
+/** @file Cliff-finder tests: the pure bisection core against
+ *  closed-form two-mechanism models with analytically known
+ *  crossovers (exact bracket + probe-count bound), and the
+ *  engine-backed search end to end — the committed example spec's
+ *  pinned flip bracket, zero re-executed tasks against a warm
+ *  ResultStore, and bit-identical witness replay across
+ *  MICROLIB_THREADS 1/4/8 and a 2-shard merge. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cliff_finder.hh"
+#include "core/ranking.hh"
+#include "core/result_store.hh"
+#include "core/scheduler.hh"
+#include "core/sweep_spec.hh"
+#include "core/task_plan.hh"
+
+using namespace microlib;
+
+namespace
+{
+
+/** The committed examples/cliff.sweep, inlined so the test is
+ *  self-contained. The explicit window pins make results (and the
+ *  pinned flip bracket below) MICROLIB_QUICK-independent. */
+const char *cliff_spec_text = R"(sweep-spec v1
+bench pchase swim gzip
+mech Base SP GHB
+base window.trace_length=50000
+base window.interval=50000
+axis hier.l2.size 64k 1M
+axis core.rob 32 128
+)";
+
+SweepSpec
+cliffSpec()
+{
+    SweepSpec spec;
+    std::string error;
+    if (!SweepSpec::parse(cliff_spec_text, spec, &error))
+        ADD_FAILURE() << error;
+    return spec;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "microlib_cliff_" + name;
+}
+
+/**
+ * Closed-form prober: mechanism A's speedup is @p a(v), B's is
+ * constant 1.0; the winner comes from the same rankBefore total
+ * order the engine-backed prober uses, so exact ties follow the
+ * documented acronym rule.
+ */
+CliffProber
+syntheticProber(double (*a)(std::uint64_t), std::size_t *calls)
+{
+    return [a, calls](std::uint64_t v) {
+        if (calls)
+            ++*calls;
+        CliffProbe p;
+        p.value = v;
+        p.speedup_a = a(v);
+        p.speedup_b = 1.0;
+        p.a_wins = rankBefore({"A", p.speedup_a, 0},
+                              {"B", p.speedup_b, 0});
+        return p;
+    };
+}
+
+} // namespace
+
+TEST(AxisMidpoint, LinearBisectsAndStopsWhenAdjacent)
+{
+    EXPECT_EQ(axisMidpoint(AxisScale::Linear, 0, 100), 50u);
+    EXPECT_EQ(axisMidpoint(AxisScale::Linear, 10, 13), 11u);
+    EXPECT_EQ(axisMidpoint(AxisScale::Linear, 5, 7), 6u);
+    EXPECT_EQ(axisMidpoint(AxisScale::Linear, 5, 6), 0u);
+}
+
+TEST(AxisMidpoint, Pow2BisectsInLogSpace)
+{
+    EXPECT_EQ(axisMidpoint(AxisScale::Pow2, 65536, 1048576), 262144u);
+    EXPECT_EQ(axisMidpoint(AxisScale::Pow2, 1, 4), 2u);
+    EXPECT_EQ(axisMidpoint(AxisScale::Pow2, 262144, 524288), 0u);
+}
+
+TEST(AxisMidpoint, BoundCountsEndpointsPlusIterations)
+{
+    // 8 linear steps: 2 endpoints + ceil(log2 8) = 5.
+    EXPECT_EQ(bisectionBound(AxisScale::Linear, 0, 8), 5u);
+    EXPECT_EQ(bisectionBound(AxisScale::Linear, 5, 6), 2u);
+    // 64k..1M is 4 doublings: 2 + 2.
+    EXPECT_EQ(bisectionBound(AxisScale::Pow2, 65536, 1048576), 4u);
+    EXPECT_EQ(bisectionBound(AxisScale::Pow2, 1, 2), 2u);
+}
+
+TEST(BisectCliff, LinearKnownCrossoverExactBracket)
+{
+    // A's speedup falls through B's constant 1.0 at exactly v = 1000:
+    // at 1000 the speedups tie and the acronym rule hands A ("A" <
+    // "B") the win, so the flip is the adjacent pair (1000, 1001).
+    std::size_t calls = 0;
+    const CliffResult r = bisectCliff(
+        AxisScale::Linear, 1, 4096,
+        syntheticProber(
+            [](std::uint64_t v) { return 2.0 - v / 1000.0; },
+            &calls));
+    EXPECT_EQ(r.status, CliffStatus::Flip);
+    EXPECT_EQ(r.lo.value, 1000u);
+    EXPECT_EQ(r.hi.value, 1001u);
+    EXPECT_TRUE(r.lo.a_wins);
+    EXPECT_FALSE(r.hi.a_wins);
+    EXPECT_EQ(r.probes.size(), calls);
+    EXPECT_LE(r.probes.size(),
+              bisectionBound(AxisScale::Linear, 1, 4096));
+}
+
+TEST(BisectCliff, Pow2KnownCrossoverExactBracket)
+{
+    const CliffResult r = bisectCliff(
+        AxisScale::Pow2, 4096, 4194304,
+        syntheticProber(
+            [](std::uint64_t v) { return v <= 262144 ? 1.2 : 0.8; },
+            nullptr));
+    EXPECT_EQ(r.status, CliffStatus::Flip);
+    EXPECT_EQ(r.lo.value, 262144u);
+    EXPECT_EQ(r.hi.value, 524288u);
+    EXPECT_LE(r.probes.size(),
+              bisectionBound(AxisScale::Pow2, 4096, 4194304));
+}
+
+TEST(BisectCliff, AgreeingEndpointsReportNoFlipAfterTwoProbes)
+{
+    const CliffResult r = bisectCliff(
+        AxisScale::Linear, 1, 1000,
+        syntheticProber([](std::uint64_t) { return 1.5; }, nullptr));
+    EXPECT_EQ(r.status, CliffStatus::NoFlip);
+    EXPECT_EQ(r.probes.size(), 2u);
+    EXPECT_EQ(r.lo.value, 1u);
+    EXPECT_EQ(r.hi.value, 1000u);
+}
+
+TEST(BisectCliff, FaultedProbeStopsTheSearchHonestly)
+{
+    // The first midpoint faults: the search must stop with status
+    // Faulted, keeping the endpoint bracket it had.
+    std::size_t calls = 0;
+    const CliffProber prober = [&](std::uint64_t v) {
+        ++calls;
+        CliffProbe p;
+        p.value = v;
+        p.faulted = calls > 2; // endpoints fine, midpoints fault
+        p.speedup_a = v < 500 ? 1.5 : 0.5;
+        p.speedup_b = 1.0;
+        p.a_wins = p.speedup_a > p.speedup_b;
+        return p;
+    };
+    const CliffResult r = bisectCliff(AxisScale::Linear, 0, 1024,
+                                      prober);
+    EXPECT_EQ(r.status, CliffStatus::Faulted);
+    EXPECT_EQ(r.probes.size(), 3u);
+    EXPECT_TRUE(r.lo.evaluated);
+    EXPECT_TRUE(r.hi.evaluated);
+    EXPECT_TRUE(r.probes.back().faulted);
+}
+
+TEST(BisectCliff, FaultedEndpointLeavesHiUnevaluated)
+{
+    const CliffProber prober = [](std::uint64_t v) {
+        CliffProbe p;
+        p.value = v;
+        p.faulted = true;
+        return p;
+    };
+    const CliffResult r = bisectCliff(AxisScale::Linear, 0, 16,
+                                      prober);
+    EXPECT_EQ(r.status, CliffStatus::Faulted);
+    EXPECT_EQ(r.probes.size(), 1u);
+    EXPECT_FALSE(r.hi.evaluated);
+}
+
+TEST(CliffFinder, SearchableAxesAndRejectionReasons)
+{
+    SweepSpec spec = cliffSpec();
+    ExperimentEngine engine;
+    const CliffFinder finder(engine, spec);
+    EXPECT_EQ(finder.searchableAxes(),
+              (std::vector<std::string>{"hier.l2.size", "core.rob"}));
+
+    std::string error;
+    EXPECT_TRUE(finder.searchable("hier.l2.size", &error)) << error;
+    // Not declared in the spec at all.
+    EXPECT_FALSE(finder.searchable("hier.l1d.size", &error));
+    EXPECT_NE(error.find("not declared"), std::string::npos) << error;
+
+    // An enum axis is enumerable but not bisectable.
+    SweepSpec mem_spec;
+    ASSERT_TRUE(SweepSpec::parse("sweep-spec v1\n"
+                                 "bench swim\n"
+                                 "mech Base SP\n"
+                                 "axis hier.memory sdram const\n",
+                                 mem_spec, &error))
+        << error;
+    const CliffFinder mem_finder(engine, mem_spec);
+    EXPECT_FALSE(mem_finder.searchable("hier.memory", &error));
+    EXPECT_NE(error.find("not numeric"), std::string::npos) << error;
+    EXPECT_TRUE(mem_finder.searchableAxes().empty());
+
+    // A one-point axis has no endpoints to disagree.
+    SweepSpec one_spec;
+    ASSERT_TRUE(SweepSpec::parse("sweep-spec v1\n"
+                                 "bench swim\n"
+                                 "mech Base SP\n"
+                                 "axis core.rob 64\n",
+                                 one_spec, &error))
+        << error;
+    const CliffFinder one_finder(engine, one_spec);
+    EXPECT_FALSE(one_finder.searchable("core.rob", &error));
+    EXPECT_NE(error.find("two distinct"), std::string::npos) << error;
+
+    // Pow2 axes require power-of-two endpoints.
+    SweepSpec odd_spec;
+    ASSERT_TRUE(SweepSpec::parse("sweep-spec v1\n"
+                                 "bench swim\n"
+                                 "mech Base SP\n"
+                                 "axis hier.l2.size 96k 1M\n",
+                                 odd_spec, &error))
+        << error;
+    const CliffFinder odd_finder(engine, odd_spec);
+    EXPECT_FALSE(odd_finder.searchable("hier.l2.size", &error));
+    EXPECT_NE(error.find("power of two"), std::string::npos) << error;
+}
+
+TEST(CliffFinder, AxisSliceProbeAndWitnessSynthesis)
+{
+    const SweepSpec spec = cliffSpec();
+
+    // Probe slice: one value, other axes pinned at their first
+    // declared value as base settings.
+    SweepSpec probe;
+    std::string error;
+    ASSERT_TRUE(spec.axisSlice({"Base", "SP", "GHB"}, "hier.l2.size",
+                               {"262144"}, probe, &error))
+        << error;
+    EXPECT_EQ(probe.canonicalText(), "sweep-spec v1\n"
+                                     "bench pchase swim gzip\n"
+                                     "mech Base SP GHB\n"
+                                     "base window.trace_length=50000\n"
+                                     "base window.interval=50000\n"
+                                     "base core.rob=32\n"
+                                     "axis hier.l2.size 262144\n");
+    EXPECT_EQ(probe.variantCount(), 1u);
+
+    // Witness slice: the two bracket values stay an axis.
+    SweepSpec witness;
+    ASSERT_TRUE(spec.axisSlice({"Base", "SP", "GHB"}, "core.rob",
+                               {"32", "33"}, witness, &error))
+        << error;
+    EXPECT_EQ(witness.canonicalText(),
+              "sweep-spec v1\n"
+              "bench pchase swim gzip\n"
+              "mech Base SP GHB\n"
+              "base window.trace_length=50000\n"
+              "base window.interval=50000\n"
+              "base hier.l2.size=64k\n"
+              "axis core.rob 32 33\n");
+
+    // Round-trip: a synthesized slice is an ordinary canonical spec.
+    SweepSpec again;
+    ASSERT_TRUE(SweepSpec::parse(witness.canonicalText(), again,
+                                 &error))
+        << error;
+    EXPECT_EQ(again.hash(), witness.hash());
+
+    // Bad values surface the registry's error, not a crash.
+    SweepSpec bad;
+    EXPECT_FALSE(spec.axisSlice({"Base"}, "hier.l2.size", {"fast"},
+                                bad, &error));
+    EXPECT_NE(error.find("hier.l2.size"), std::string::npos) << error;
+}
+
+/** The engine-backed search on the committed example spec: the
+ *  SP-vs-GHB L2-size cliff, pinned. Window sizes are explicit in the
+ *  spec, so the bracket is the same under MICROLIB_QUICK. */
+TEST(CliffFinder, FindsPinnedFlipAndResumesWarm)
+{
+    const std::string store_path = tmpPath("warm.store");
+    std::remove(store_path.c_str());
+
+    const SweepSpec spec = cliffSpec();
+    CliffResult first;
+    {
+        ResultStore store(store_path);
+        EngineOptions opts;
+        opts.store = &store;
+        ExperimentEngine engine(opts);
+        CliffFinder finder(engine, spec);
+        first = finder.find("SP", "GHB", "hier.l2.size");
+    }
+    EXPECT_EQ(first.status, CliffStatus::Flip);
+    EXPECT_EQ(first.lo.value, 262144u);
+    EXPECT_EQ(first.hi.value, 524288u);
+    EXPECT_FALSE(first.lo.a_wins); // GHB wins the cramped L2
+    EXPECT_TRUE(first.hi.a_wins);  // SP wins once the L2 fits
+    EXPECT_LE(first.probes.size(),
+              bisectionBound(AxisScale::Pow2, 65536, 1048576));
+    EXPECT_GT(first.executed, 0u);
+
+    // Same search against the warm store: zero new tasks, and every
+    // probe bit-identical (value, both speedups, winner).
+    {
+        ResultStore store(store_path);
+        EngineOptions opts;
+        opts.store = &store;
+        ExperimentEngine engine(opts);
+        CliffFinder finder(engine, spec);
+        const CliffResult again =
+            finder.find("SP", "GHB", "hier.l2.size");
+        EXPECT_EQ(again.executed, 0u);
+        EXPECT_GT(again.resumed, 0u);
+        ASSERT_EQ(again.probes.size(), first.probes.size());
+        for (std::size_t i = 0; i < first.probes.size(); ++i) {
+            EXPECT_EQ(again.probes[i].value, first.probes[i].value);
+            EXPECT_EQ(again.probes[i].speedup_a,
+                      first.probes[i].speedup_a);
+            EXPECT_EQ(again.probes[i].speedup_b,
+                      first.probes[i].speedup_b);
+            EXPECT_EQ(again.probes[i].a_wins,
+                      first.probes[i].a_wins);
+        }
+    }
+}
+
+/** Witness replay is bit-identical for any thread count and for a
+ *  2-shard split merged back together — the sweep stack's
+ *  determinism contract applied to the cliff finder's artifact. */
+TEST(CliffFinder, WitnessReplayDeterminism)
+{
+    const SweepSpec spec = cliffSpec();
+    ExperimentEngine search_engine;
+    CliffFinder finder(search_engine, spec);
+    const CliffResult r = finder.find("SP", "GHB", "hier.l2.size");
+    ASSERT_EQ(r.status, CliffStatus::Flip);
+    const SweepSpec witness = finder.witnessSpec(r);
+
+    // The witness must reproduce the flip: the SP-vs-GHB ranking
+    // inverts between its two variants.
+    auto spBeatsGhb = [](const MatrixResult &m) {
+        const auto ranking = rankMechanisms(m);
+        return rankOf(ranking, "SP") < rankOf(ranking, "GHB");
+    };
+
+    SweepResult reference;
+    {
+        EngineOptions opts;
+        opts.threads = 1;
+        ExperimentEngine engine(opts);
+        reference = engine.run(witness);
+    }
+    EXPECT_FALSE(spBeatsGhb(reference.matrices[0]));
+    EXPECT_TRUE(spBeatsGhb(reference.matrices[1]));
+
+    for (const unsigned threads : {4u, 8u}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        ExperimentEngine engine(opts);
+        const SweepResult res = engine.run(witness);
+        ASSERT_EQ(res.matrices.size(), reference.matrices.size());
+        for (std::size_t v = 0; v < res.matrices.size(); ++v)
+            for (std::size_t m = 0;
+                 m < res.matrices[v].mechanisms.size(); ++m)
+                for (std::size_t b = 0;
+                     b < res.matrices[v].benchmarks.size(); ++b) {
+                    EXPECT_EQ(res.matrices[v].ipc[m][b],
+                              reference.matrices[v].ipc[m][b])
+                        << threads << " threads, variant " << v;
+                    EXPECT_EQ(
+                        res.matrices[v].outputs[m][b].stats,
+                        reference.matrices[v].outputs[m][b].stats);
+                }
+    }
+
+    // 2-shard split: each shard runs alone against its own store;
+    // merging and resuming executes nothing and matches the
+    // single-process run bit-for-bit.
+    std::vector<std::string> shard_paths;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const std::string path =
+            tmpPath("witness_s" + std::to_string(i) + ".store");
+        std::remove(path.c_str());
+        shard_paths.push_back(path);
+        ResultStore store(path);
+        EngineOptions opts;
+        opts.store = &store;
+        opts.shard = ShardSpec{i, 2};
+        ExperimentEngine engine(opts);
+        engine.run(witness);
+    }
+    const std::string merged_path = tmpPath("witness_merged.store");
+    std::remove(merged_path.c_str());
+    ResultStore merged(merged_path);
+    for (const auto &path : shard_paths)
+        merged.merge(path);
+    EngineOptions opts;
+    opts.store = &merged;
+    ExperimentEngine engine(opts);
+    const SweepResult res = engine.run(witness);
+    EXPECT_EQ(engine.lastRun().executed, 0u);
+    for (std::size_t v = 0; v < res.matrices.size(); ++v)
+        for (std::size_t m = 0; m < res.matrices[v].mechanisms.size();
+             ++m)
+            for (std::size_t b = 0;
+                 b < res.matrices[v].benchmarks.size(); ++b)
+                EXPECT_EQ(res.matrices[v].ipc[m][b],
+                          reference.matrices[v].ipc[m][b])
+                    << "merged shards, variant " << v;
+}
+
+/** findAll + witness artifacts: the multi-axis driver searches both
+ *  example axes, writes a .sweep only for the flipping one, a .json
+ *  for both, and a second run against the same store reproduces the
+ *  artifact bytes exactly. */
+TEST(CliffFinder, FindAllWritesDeterministicWitnesses)
+{
+    const std::string store_path = tmpPath("witness_dir.store");
+    std::remove(store_path.c_str());
+
+    auto runOnce = [&](const std::string &dir) {
+        ResultStore store(store_path);
+        EngineOptions opts;
+        opts.store = &store;
+        ExperimentEngine engine(opts);
+        CliffFinderOptions copts;
+        copts.witness_dir = dir;
+        CliffFinder finder(engine, cliffSpec(), copts);
+        return finder.findAll("SP", "GHB");
+    };
+
+    const std::string dir1 = tmpPath("wit1");
+    const std::string dir2 = tmpPath("wit2");
+    const auto first = runOnce(dir1);
+    const auto again = runOnce(dir2);
+
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first[0].axis, "hier.l2.size");
+    EXPECT_EQ(first[0].status, CliffStatus::Flip);
+    EXPECT_FALSE(first[0].witness_path.empty());
+    EXPECT_EQ(first[1].axis, "core.rob");
+    EXPECT_EQ(first[1].status, CliffStatus::NoFlip);
+    EXPECT_TRUE(first[1].witness_path.empty());
+
+    // Deterministic rendering: reports and artifacts byte-identical
+    // between the fresh and the fully resumed search.
+    EXPECT_EQ(CliffFinder::report(first).str(),
+              CliffFinder::report(again).str());
+    for (const char *name :
+         {"cliff__hier-l2-size__SP_vs_GHB.sweep",
+          "cliff__hier-l2-size__SP_vs_GHB.json",
+          "cliff__core-rob__SP_vs_GHB.json"}) {
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path);
+            EXPECT_TRUE(in.good()) << path;
+            return std::string(std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>());
+        };
+        EXPECT_EQ(slurp(dir1 + "/" + name), slurp(dir2 + "/" + name))
+            << name;
+    }
+    for (const auto &r : again)
+        EXPECT_EQ(r.executed, 0u) << r.axis;
+}

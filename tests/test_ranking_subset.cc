@@ -42,6 +42,60 @@ TEST(Ranking, OrdersBySpeedup)
     EXPECT_EQ(rankOf(ranking, "Base"), 3u);
 }
 
+TEST(Ranking, TotalOrderBreaksExactTiesByAcronym)
+{
+    // rankBefore is the documented total order: speedup descending,
+    // exact ties broken by acronym ascending.
+    EXPECT_TRUE(rankBefore({"Z", 1.5, 0}, {"A", 1.2, 0}));
+    EXPECT_FALSE(rankBefore({"A", 1.2, 0}, {"Z", 1.5, 0}));
+    EXPECT_TRUE(rankBefore({"A", 1.2, 0}, {"Z", 1.2, 0}));
+    EXPECT_FALSE(rankBefore({"Z", 1.2, 0}, {"A", 1.2, 0}));
+    // Irreflexive, as strict weak ordering demands.
+    EXPECT_FALSE(rankBefore({"A", 1.2, 0}, {"A", 1.2, 0}));
+
+    // Two mechanisms with bit-identical speedups rank by name, not by
+    // row order: X and Y tie exactly, so X outranks Y.
+    const MatrixResult m = matrixOf(
+        {"Base", "Y", "X"},
+        {{1.0, 1.0}, {1.5, 1.5}, {1.5, 1.5}});
+    const auto ranking = rankMechanisms(m);
+    EXPECT_EQ(ranking[0].mechanism, "X");
+    EXPECT_EQ(ranking[1].mechanism, "Y");
+    EXPECT_EQ(rankOf(ranking, "X"), 1u);
+    EXPECT_EQ(rankOf(ranking, "Y"), 2u);
+}
+
+TEST(Ranking, OrderIndependentOfMatrixRowOrder)
+{
+    // The same (mechanism, ipc-row) pairs in any row order must
+    // produce the identical ranking — the property cliff detection
+    // relies on: a flip can only come from results changing, never
+    // from catalog order. Includes an exact tie (P and Q).
+    const std::vector<std::string> mechs = {"Base", "P", "Q", "R"};
+    const std::vector<std::vector<double>> ipc = {
+        {1.0, 1.0}, {1.3, 1.3}, {1.3, 1.3}, {1.7, 0.9}};
+
+    const auto reference = rankMechanisms(matrixOf(mechs, ipc));
+    const std::vector<std::size_t> perms[] = {
+        {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+    for (const auto &perm : perms) {
+        std::vector<std::string> pm;
+        std::vector<std::vector<double>> pipc;
+        for (const std::size_t i : perm) {
+            pm.push_back(mechs[i]);
+            pipc.push_back(ipc[i]);
+        }
+        const auto ranking = rankMechanisms(matrixOf(pm, pipc));
+        ASSERT_EQ(ranking.size(), reference.size());
+        for (std::size_t i = 0; i < ranking.size(); ++i) {
+            EXPECT_EQ(ranking[i].mechanism, reference[i].mechanism);
+            EXPECT_EQ(ranking[i].avg_speedup,
+                      reference[i].avg_speedup);
+            EXPECT_EQ(ranking[i].rank, reference[i].rank);
+        }
+    }
+}
+
 TEST(Ranking, SubsetChangesWinner)
 {
     // X wins benchmark 0, Y wins benchmark 1.

@@ -393,7 +393,10 @@ main(int argc, char **argv)
             args.verbose = true;
         } else if (flag == "--report") {
             args.do_report = true;
-            if (i + 1 < argc && argv[i + 1][0] != '-')
+            // A lone "-" is the documented explicit-stdout spelling,
+            // not a flag — consume it.
+            if (i + 1 < argc && (argv[i + 1][0] != '-' ||
+                                 std::strcmp(argv[i + 1], "-") == 0))
                 args.report_path = argv[++i];
         } else if (flag == "--merge") {
             while (i + 1 < argc && argv[i + 1][0] != '-')

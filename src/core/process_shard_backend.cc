@@ -64,6 +64,10 @@ runShardWorker(const TaskPlan &plan, const std::vector<char> &done,
         opts.verbose = parent_ctx.opts.verbose;
         opts.trace_budget_bytes = parent_ctx.opts.trace_budget_bytes;
         opts.lockstep = parent_ctx.opts.lockstep;
+        // All shard workers share the parent's arena directory: the
+        // first worker to need a window publishes it, every sibling
+        // (and every later run) mmaps that one copy.
+        opts.trace_dir = parent_ctx.opts.trace_dir;
         opts.store = &store;
         opts.shard = shard;
         opts.progress_path = progress_path;

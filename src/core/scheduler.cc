@@ -7,6 +7,7 @@
 #include "core/thread_pool_backend.hh"
 #include "sim/logging.hh"
 #include "trace/spec_suite.hh"
+#include "trace/trace_arena.hh"
 
 namespace microlib
 {
@@ -31,6 +32,17 @@ resolveTraceBudget(const EngineOptions &opts)
         return 0;
     }
     return static_cast<std::size_t>(mb) * 1024 * 1024;
+}
+
+/** Effective arena directory: the explicit option, else the
+ *  MICROLIB_TRACE_DIR environment knob, else none. */
+std::string
+resolveTraceDir(const EngineOptions &opts)
+{
+    if (!opts.trace_dir.empty())
+        return opts.trace_dir;
+    const char *env = std::getenv("MICROLIB_TRACE_DIR");
+    return (env && *env) ? std::string(env) : std::string();
 }
 
 /** Effective lockstep toggle: MICROLIB_LOCKSTEP (0/1) wins over the
@@ -64,6 +76,10 @@ ExperimentEngine::ExperimentEngine(EngineOptions opts)
               " out of range for ", _opts.shard.count, " shard(s)");
     _opts.lockstep = resolveLockstep(opts);
     _cache.setByteBudget(resolveTraceBudget(_opts));
+    _opts.trace_dir = resolveTraceDir(opts);
+    if (!_opts.trace_dir.empty())
+        _cache.setArena(
+            std::make_shared<TraceArena>(_opts.trace_dir));
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -79,9 +95,22 @@ std::shared_ptr<const MaterializedTrace>
 ExperimentEngine::materializeInto(TraceCache &cache,
                                   const std::string &key,
                                   const std::string &benchmark,
-                                  const RunConfig &cfg)
+                                  const RunConfig &cfg,
+                                  TraceOrigin *origin)
 {
+    if (origin)
+        *origin = TraceOrigin::Generated;
     try {
+        // Tier 2 first: an arena hit carries its resolved window, so
+        // it skips SimPoint BBV profiling along with generation.
+        const std::shared_ptr<TraceArena> arena = cache.arena();
+        if (arena) {
+            if (auto mapped = arena->tryLoad(key)) {
+                if (origin)
+                    *origin = TraceOrigin::Mapped;
+                return cache.fulfill(key, std::move(*mapped));
+            }
+        }
         TraceWindow window;
         if (cfg.selection == TraceSelection::SimPoint) {
             // The process-wide cache, not the engine's: SimPoint
@@ -97,11 +126,20 @@ ExperimentEngine::materializeInto(TraceCache &cache,
             window.skip = cfg.scale.arbitrary_skip;
             window.length = cfg.scale.arbitrary_length;
         }
+        MaterializedTrace trace =
+            materialize(specProgram(benchmark), window);
+        if (arena && arena->publish(key, trace)) {
+            // Swap the heap copy for a mapping of the file we just
+            // published: frees ~all of the trace's owned bytes and
+            // joins the directory-wide shared page-cache copy. Still
+            // src=gen — this process paid for the generation.
+            if (auto mapped = arena->tryLoad(key))
+                return cache.fulfill(key, std::move(*mapped));
+        }
         // Return fulfill()'s own pointer: under a byte budget the
         // entry can be evicted the moment it lands, so re-looking
         // the key up (wait()) could panic on an unclaimed key.
-        return cache.fulfill(
-            key, materialize(specProgram(benchmark), window));
+        return cache.fulfill(key, std::move(trace));
     } catch (...) {
         cache.fail(key, std::current_exception());
         throw;

@@ -107,6 +107,18 @@ struct EngineOptions
      */
     std::size_t trace_budget_bytes = 0;
 
+    /**
+     * Persistent trace-arena directory (trace/trace_arena.hh); empty
+     * = read MICROLIB_TRACE_DIR (unset or empty = no arena, the
+     * default). With an arena, trace owners probe the directory
+     * before materializing — a hit mmaps the stored window read-only
+     * (skipping generation AND SimPoint profiling) — and publish
+     * what they had to generate, so the window is materialized once
+     * per directory rather than once per process. Shard workers
+     * inherit the parent's directory and share it concurrently.
+     */
+    std::string trace_dir;
+
     /** Execution strategy; not owned, may be nullptr = the engine's
      *  built-in ThreadPoolBackend. See core/execution_backend.hh. */
     ExecutionBackend *backend = nullptr;
@@ -148,6 +160,14 @@ struct EngineOptions
      * paths without a flag — CI byte-diffs the two.
      */
     bool lockstep = true;
+};
+
+/** Where a fulfilled trace came from (progress telemetry: the warm-
+ *  arena acceptance check greps for the absence of src=gen). */
+enum class TraceOrigin
+{
+    Generated, ///< materialized by this process (arena miss or none)
+    Mapped,    ///< mmap'd straight out of the trace arena
 };
 
 /** Matrix-wide experiment driver over plan + backend. */
@@ -229,10 +249,19 @@ class ExperimentEngine
      * the trace for (@p benchmark, @p cfg), or fail the entry and
      * rethrow. Call only after claim() returned Owner. Shared by the
      * engine's trace() endpoint and the execution backends.
+     *
+     * With an arena attached to @p cache, the arena is probed FIRST
+     * — before window resolution — so a hit skips SimPoint BBV
+     * profiling along with generation (the stored file carries the
+     * resolved window). A miss generates, publishes to the arena,
+     * then re-loads the published file so the heap copy is released
+     * in favor of the shared page-cache mapping. @p origin (when
+     * non-null) reports which path ran.
      */
     static std::shared_ptr<const MaterializedTrace>
     materializeInto(TraceCache &cache, const std::string &key,
-                    const std::string &benchmark, const RunConfig &cfg);
+                    const std::string &benchmark, const RunConfig &cfg,
+                    TraceOrigin *origin = nullptr);
 
   private:
     EngineOptions _opts;

@@ -163,10 +163,26 @@ ThreadPoolBackend::drain(State &st)
         } else {
             TraceCache::Future fut;
             switch (cache.claim(key, fut)) {
-              case TraceCache::Claim::Owner:
+              case TraceCache::Claim::Owner: {
+                TraceOrigin origin = TraceOrigin::Generated;
                 trace = ExperimentEngine::materializeInto(
-                    cache, key, benchmark, st.plan.config(first.v));
+                    cache, key, benchmark, st.plan.config(first.v),
+                    &origin);
+                // One event per owner-side materialization: a fully
+                // warm arena run contains zero src=gen trace events
+                // (the cold-vs-warm CI smoke greps for exactly that).
+                if (st.ctx.progress)
+                    st.ctx.progress->write(
+                        ProgressEvent("trace")
+                            .field("bench", benchmark)
+                            .field("src",
+                                   origin == TraceOrigin::Mapped
+                                       ? "arena"
+                                       : "gen")
+                            .field("elapsed_s",
+                                   secondsSince(st.start)));
                 break;
+              }
               case TraceCache::Claim::Ready:
                 trace = fut.get();
                 break;

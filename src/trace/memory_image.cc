@@ -1,7 +1,37 @@
 #include "trace/memory_image.hh"
 
+#include <algorithm>
+#include <cstring>
+
 namespace microlib
 {
+
+void
+MemoryImage::forEachPage(
+    const std::function<void(Addr, const Word *,
+                             const std::uint64_t *)> &fn) const
+{
+    std::vector<Addr> keys;
+    keys.reserve(_pages.size());
+    for (const auto &kv : _pages)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (const Addr key : keys) {
+        const Page &page = _pages.at(key);
+        fn(key, page.words.data(), page.written_mask.data());
+    }
+}
+
+void
+MemoryImage::restorePage(Addr page_index, const Word *words,
+                         const std::uint64_t *mask)
+{
+    Page &page = _pages[page_index];
+    std::memcpy(page.words.data(), words,
+                words_per_page * sizeof(Word));
+    std::memcpy(page.written_mask.data(), mask,
+                (words_per_page / 64) * sizeof(std::uint64_t));
+}
 
 Word
 MemoryImage::defaultValue(Addr word_addr)

@@ -20,6 +20,7 @@
 #define MICROLIB_TRACE_MEMORY_IMAGE_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +57,24 @@ class MemoryImage
 
     /** Deterministic content of an untouched word. */
     static Word defaultValue(Addr word_addr);
+
+    /**
+     * Visit every allocated page in ascending page-index order as
+     * (page_index, words[words_per_page], mask[words_per_page/64]).
+     * The deterministic order is what makes image serialization
+     * byte-stable (the trace arena writes pages through this).
+     */
+    void forEachPage(
+        const std::function<void(Addr, const Word *,
+                                 const std::uint64_t *)> &fn) const;
+
+    /**
+     * Install a whole page at @p page_index from raw words + written
+     * mask — the deserialization inverse of forEachPage(). Replaces
+     * any existing page.
+     */
+    void restorePage(Addr page_index, const Word *words,
+                     const std::uint64_t *mask);
 
   private:
     struct Page

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Persistent mmap'd trace arena: materialize each window once,
+ * zero-copy share across workers, shards, and runs.
+ *
+ * A materialized trace is a pure function of its host-stable cache
+ * key (benchmark + canonical window description — see traceCacheKey
+ * in core/task_plan.hh), so it belongs in a persistent store exactly
+ * as fingerprinted results belong in the ResultStore. The arena is
+ * that store: one file per window under a shared directory, holding
+ * the column-aligned SoA payload plus the sparse memory image. A hit
+ * is mmap'd read-only and *borrowed* by the returned
+ * MaterializedTrace — the hot-loop TraceView points straight into
+ * the mapping, every process sharing the directory shares one page
+ * cache copy, and nothing is deserialized but the image pages.
+ *
+ * File format (docs/TRACE_ARENA.md):
+ *
+ *   [ArenaHeader]                  fixed-size, little-endian
+ *   [key bytes][benchmark bytes]   identity (keys embed NULs: length-
+ *                                  prefixed, never NUL-terminated)
+ *   ...zero padding to a 64-byte boundary...
+ *   [pc u32[n]]  [addr u32[n]]  [value u64[n]]      each column
+ *   [op u8[n]]   [dep1 u8[n]]  [dep2 u8[n]]         64-byte aligned
+ *   [image pages: {page_index u64, words u64[512], mask u64[8]}...]
+ *                                  sorted by page index
+ *
+ * Integrity: a four-lane word-wise FNV-style checksum over
+ * everything after the header (see checksumBytes in trace_arena.cc
+ * — lanes keep validation off the warm path's critical millisecond),
+ * verified on every load; a truncated, bit-flipped, foreign-schema
+ * or wrong-key file is rejected (tryLoad returns null) and the
+ * caller transparently regenerates. Invalidation is a schema-version
+ * bump: readers ignore files of any other version.
+ *
+ * Publishing is write-to-tmp + atomic rename, so concurrent writers
+ * race harmlessly: publish() re-probes the target first (first
+ * writer wins), and because the payload is a deterministic function
+ * of the key, a lost race still leaves one valid file. Readers never
+ * observe a partial file.
+ */
+
+#ifndef MICROLIB_TRACE_TRACE_ARENA_HH
+#define MICROLIB_TRACE_TRACE_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "trace/window.hh"
+
+namespace microlib
+{
+
+/** RAII read-only mmap of one arena file. MaterializedTrace holds a
+ *  shared_ptr to keep the borrowed column spans alive; the last
+ *  release munmaps (a budget "eviction" of a mapped trace frees
+ *  address space only — the OS page cache owns the bytes). */
+class MappedFile
+{
+  public:
+    /** Map @p path read-only; null on any failure (open/stat/mmap).
+     */
+    static std::shared_ptr<const MappedFile>
+    map(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return _data; }
+    std::size_t size() const { return _size; }
+
+  private:
+    MappedFile(const std::uint8_t *data, std::size_t size)
+        : _data(data), _size(size)
+    {
+    }
+
+    const std::uint8_t *_data = nullptr;
+    std::size_t _size = 0;
+};
+
+/** Arena telemetry (per-TraceArena instance, cumulative). */
+struct TraceArenaStats
+{
+    std::size_t hits = 0;      ///< tryLoad() returned a mapped trace
+    std::size_t misses = 0;    ///< no file for the key
+    std::size_t rejected = 0;  ///< file present but failed validation
+    std::size_t published = 0; ///< publish() wrote a new file
+};
+
+/** On-disk store of materialized trace windows, keyed by the
+ *  host-stable trace-cache key. Thread-safe; the directory may be
+ *  shared by any number of concurrent processes. */
+class TraceArena
+{
+  public:
+    /** Format version: bump on ANY layout or semantic change (that
+     *  is the entire invalidation story — old files are simply
+     *  ignored and regenerated). */
+    static constexpr std::uint32_t schema_version = 1;
+
+    /** Open (create if needed) the arena at @p dir. */
+    explicit TraceArena(std::string dir);
+
+    const std::string &dir() const { return _dir; }
+
+    /** The file a given key lives at: <dir>/<fnv64(key)>.mltrace.
+     *  Keys embed NUL bytes, so the name is the key's hash; the full
+     *  key is stored (and verified) inside the file. */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * Probe the arena for @p key. On a hit, returns a
+     * MaterializedTrace whose SoA columns are borrowed spans into a
+     * read-only mapping of the file (the trace keeps the mapping
+     * alive) and whose memory image is rebuilt from the stored
+     * pages. Returns nullopt on a miss or on any validation failure
+     * — wrong magic/schema/key, size mismatch, checksum mismatch —
+     * in which case the caller should regenerate (and republish).
+     */
+    std::optional<MaterializedTrace>
+    tryLoad(const std::string &key);
+
+    /**
+     * Serialize @p trace and publish it under @p key via tmp +
+     * atomic rename. First writer wins: if a valid file for the key
+     * already exists, nothing is written. Returns false (with a
+     * warning) on I/O failure — the arena is an accelerator, never a
+     * correctness dependency, so callers proceed with their owned
+     * trace.
+     */
+    bool publish(const std::string &key,
+                 const MaterializedTrace &trace);
+
+    TraceArenaStats stats() const;
+
+  private:
+    std::string _dir;
+    mutable std::mutex _mu; ///< guards _stats only
+    TraceArenaStats _stats;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_TRACE_TRACE_ARENA_HH

@@ -67,7 +67,11 @@ TraceCache::claim(const std::string &key, Future &out)
 TraceCache::TracePtr
 TraceCache::fulfill(const std::string &key, MaterializedTrace trace)
 {
-    const std::size_t bytes = trace.footprintBytes();
+    // Charge only heap-owned bytes: a mapped trace's columns belong
+    // to the OS page cache, which reclaims them under pressure
+    // without our help. Evicting a mapped entry therefore just drops
+    // the mapping (munmap via the last shared_ptr release).
+    const std::size_t bytes = trace.footprintOwnedBytes();
     TracePtr ptr =
         std::make_shared<const MaterializedTrace>(std::move(trace));
     std::promise<TracePtr> promise;
@@ -220,6 +224,20 @@ TraceCache::traceCount() const
 {
     std::unique_lock<std::mutex> lock(_mu);
     return _traces.size();
+}
+
+void
+TraceCache::setArena(std::shared_ptr<TraceArena> arena)
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    _arena = std::move(arena);
+}
+
+std::shared_ptr<TraceArena>
+TraceCache::arena() const
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    return _arena;
 }
 
 SimPointChoice

@@ -12,6 +12,16 @@
  * window — so two configurations with identical windows share one
  * materialization.
  *
+ * Tier-2 backing (optional): setArena() attaches a persistent
+ * on-disk TraceArena (trace_arena.hh). The cache itself never reads
+ * or writes the arena — owners do (see
+ * ExperimentEngine::materializeInto): they probe the arena before
+ * materializing and publish after, then fulfill() the cache with the
+ * resulting trace, mapped or generated. fulfill() charges only a
+ * trace's *owned* heap bytes against the byte budget; a mapped
+ * trace's column bytes live in the OS page cache, so evicting it
+ * merely unmaps — the file stays warm for the next claim.
+ *
  * This subsumes the old process-wide `simpoint_cache` map in
  * experiment.cc, which was written from multiple worker threads with
  * no synchronization at all.
@@ -44,6 +54,8 @@
 
 namespace microlib
 {
+
+class TraceArena;
 
 /** Concurrent trace store with single-materialization semantics. */
 class TraceCache
@@ -129,6 +141,13 @@ class TraceCache
     /** Number of trace entries, ready or in flight. */
     std::size_t traceCount() const;
 
+    /** Attach (or detach, with null) the persistent tier-2 arena.
+     *  The cache only stores the handle; owners probe/publish it. */
+    void setArena(std::shared_ptr<TraceArena> arena);
+
+    /** The attached arena, or null. */
+    std::shared_ptr<TraceArena> arena() const;
+
     /**
      * SimPoint choice for (@p benchmark, @p interval, @p k), computed
      * once per process and cached. Mutex-guarded: safe to call from
@@ -169,6 +188,9 @@ class TraceCache
     std::size_t _budget_bytes = 0;   ///< 0 = unlimited
     std::size_t _resident_bytes = 0; ///< sum over _resident
     std::uint64_t _use_clock = 0;    ///< monotonic LRU counter
+    /** Optional persistent tier-2 backing (may be shared across
+     *  engines and, via a common directory, across processes). */
+    std::shared_ptr<TraceArena> _arena;
 
     mutable std::mutex _sp_mu;
     /** Keyed by benchmark\0interval\0k. */

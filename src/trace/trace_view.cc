@@ -6,6 +6,7 @@ namespace microlib
 void
 TraceSoA::build(const Trace &records)
 {
+    _borrowed = TraceView{};
     const std::size_t n = records.size();
     _pc.resize(n);
     _addr.resize(n);
@@ -24,9 +25,29 @@ TraceSoA::build(const Trace &records)
     }
 }
 
+void
+TraceSoA::borrow(const TraceView &v)
+{
+    _pc.clear();
+    _pc.shrink_to_fit();
+    _addr.clear();
+    _addr.shrink_to_fit();
+    _value.clear();
+    _value.shrink_to_fit();
+    _op.clear();
+    _op.shrink_to_fit();
+    _dep1.clear();
+    _dep1.shrink_to_fit();
+    _dep2.clear();
+    _dep2.shrink_to_fit();
+    _borrowed = v;
+}
+
 TraceView
 TraceSoA::view() const
 {
+    if (borrowed())
+        return _borrowed;
     TraceView v;
     v.pc = _pc.data();
     v.addr = _addr.data();

@@ -46,25 +46,41 @@ struct TraceView
     bool empty() const { return n == 0; }
 };
 
-/** Owning SoA storage for one trace window, built once per cached
- *  trace and shared by every run consuming it. */
+/** SoA storage for one trace window, built once per cached trace and
+ *  shared by every run consuming it. Two modes: *owning* (build()
+ *  fills the member vectors — the generate path) and *borrowing*
+ *  (borrow() points the view at columns owned by someone else, e.g.
+ *  a read-only mmap of a trace-arena file — see trace_arena.hh). A
+ *  borrowing SoA holds no heap memory for the columns; whoever owns
+ *  the spans must outlive it. */
 class TraceSoA
 {
   public:
     TraceSoA() = default;
     explicit TraceSoA(const Trace &records) { build(records); }
 
-    /** (Re)build the parallel arrays from @p records. */
+    /** (Re)build the parallel arrays from @p records (owning mode;
+     *  drops any borrowed spans). */
     void build(const Trace &records);
+
+    /** Point the view at externally owned column spans (borrowing
+     *  mode; releases any owned arrays). @p v's pointers must stay
+     *  valid for the SoA's lifetime. */
+    void borrow(const TraceView &v);
+
+    /** Whether view() borrows externally owned spans. */
+    bool borrowed() const { return _borrowed.pc != nullptr; }
 
     /** View over the current arrays; invalidated by build(). */
     TraceView view() const;
 
-    std::size_t size() const { return _op.size(); }
-    bool empty() const { return _op.empty(); }
+    std::size_t size() const { return view().n; }
+    bool empty() const { return size() == 0; }
 
-    /** Heap bytes held by the parallel arrays (trace-cache byte
-     *  budget accounting). */
+    /** Heap bytes *owned* by the parallel arrays (trace-cache byte
+     *  budget accounting). Zero in borrowing mode — the bytes behind
+     *  a borrowed view belong to the mapping (OS page cache), not
+     *  this process's heap. */
     std::size_t
     footprintBytes() const
     {
@@ -76,6 +92,17 @@ class TraceSoA
                _dep2.capacity() * sizeof(std::uint8_t);
     }
 
+    /** Bytes the borrowed column spans address (0 in owning mode). */
+    std::size_t
+    footprintMappedBytes() const
+    {
+        if (!borrowed())
+            return 0;
+        return _borrowed.n *
+               (sizeof(std::uint32_t) * 2 + sizeof(Word) +
+                sizeof(OpClass) + sizeof(std::uint8_t) * 2);
+    }
+
   private:
     std::vector<std::uint32_t> _pc;
     std::vector<std::uint32_t> _addr;
@@ -83,6 +110,8 @@ class TraceSoA
     std::vector<OpClass> _op;
     std::vector<std::uint8_t> _dep1;
     std::vector<std::uint8_t> _dep2;
+    /** Borrowed spans; pc != nullptr marks borrowing mode. */
+    TraceView _borrowed;
 };
 
 } // namespace microlib

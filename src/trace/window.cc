@@ -1,7 +1,15 @@
 #include "trace/window.hh"
 
+#include "trace/trace_arena.hh"
+
 namespace microlib
 {
+
+std::size_t
+MaterializedTrace::footprintMappedBytes() const
+{
+    return mapping ? mapping->size() : 0;
+}
 
 MaterializedTrace
 materialize(const SpecProgram &prog, const TraceWindow &window)

@@ -20,6 +20,8 @@
 namespace microlib
 {
 
+class MappedFile;
+
 /** A slice of a benchmark's dynamic instruction stream. */
 struct TraceWindow
 {
@@ -28,10 +30,15 @@ struct TraceWindow
 };
 
 /** A materialized window together with the memory image that backs
- *  value-sensitive mechanisms (CDP, FVC). Carries both the AoS
- *  records and their SoA transposition: the SoA is built exactly
- *  once, when the trace is materialized into the cache, and every
- *  run over the window streams the same arrays. */
+ *  value-sensitive mechanisms (CDP, FVC). A *generated* trace
+ *  carries both the AoS records and their SoA transposition (the
+ *  SoA is built exactly once, when the trace is materialized into
+ *  the cache, and every run over the window streams the same
+ *  arrays). A trace *mapped* from the trace arena (trace_arena.hh)
+ *  instead borrows its SoA columns straight out of a read-only mmap
+ *  — `mapping` keeps the file mapped, `records` stays empty (the
+ *  simulation hot path reads only view() and the image; callers
+ *  that need the AoS reference loop materialize() their own copy). */
 struct MaterializedTrace
 {
     Trace records;
@@ -39,19 +46,29 @@ struct MaterializedTrace
     std::shared_ptr<const MemoryImage> image;
     std::string benchmark;
     TraceWindow window;
+    /** Arena mapping backing borrowed SoA spans; null for generated
+     *  traces. Dropping the last reference munmaps. */
+    std::shared_ptr<const MappedFile> mapping;
 
     /** Span bundle for the simulation hot loop. */
     TraceView view() const { return soa.view(); }
 
+    /** Whether the SoA columns live in an arena mmap rather than
+     *  this process's heap. */
+    bool mapped() const { return mapping != nullptr; }
+
     /**
-     * Estimated resident bytes: AoS records + SoA arrays + the
-     * memory image's allocated pages. The trace cache charges this
-     * against its byte budget (MICROLIB_TRACE_BUDGET_MB); an
-     * estimate is fine — the budget bounds memory, it does not
-     * account it to the byte.
+     * Estimated *heap-owned* resident bytes: AoS records + owned SoA
+     * arrays + the memory image's allocated pages. This — not the
+     * mapped bytes — is what the trace cache charges against its
+     * byte budget (MICROLIB_TRACE_BUDGET_MB): the OS page cache owns
+     * a mapping's bytes and reclaims them under pressure on its own,
+     * so a mapped trace costs the budget only its image and
+     * bookkeeping. An estimate is fine — the budget bounds memory,
+     * it does not account it to the byte.
      */
     std::size_t
-    footprintBytes() const
+    footprintOwnedBytes() const
     {
         std::size_t bytes = sizeof(*this);
         bytes += records.capacity() * sizeof(TraceRecord);
@@ -60,6 +77,17 @@ struct MaterializedTrace
             bytes += image->allocatedPages() *
                      (MemoryImage::page_bytes + 64);
         return bytes;
+    }
+
+    /** Bytes addressed through the arena mapping (0 when not
+     *  mapped). Defined in window.cc (needs MappedFile's size). */
+    std::size_t footprintMappedBytes() const;
+
+    /** Total resident estimate, owned + mapped. */
+    std::size_t
+    footprintBytes() const
+    {
+        return footprintOwnedBytes() + footprintMappedBytes();
     }
 };
 

@@ -51,6 +51,7 @@ struct CliffArgs
     std::string witness_dir;
     std::string store_path;
     std::string progress_path;
+    std::string trace_dir;
     std::string report_path; // "-" = stdout
     bool do_report = false;
     unsigned threads = 0;
@@ -100,6 +101,9 @@ usage(const char *argv0)
         "                      axis FAULTED, other axes continue)\n"
         "  --threads N         engine worker threads\n"
         "  --progress PATH     JSONL progress stream (per probe)\n"
+        "  --trace-dir DIR     persistent trace arena shared across\n"
+        "                      probes and with microlib_sweep\n"
+        "                      (default: MICROLIB_TRACE_DIR)\n"
         "  --verbose           log each probe\n",
         argv0);
 }
@@ -177,6 +181,8 @@ main(int argc, char **argv)
             args.store_path = value("--store");
         } else if (flag == "--progress") {
             args.progress_path = value("--progress");
+        } else if (flag == "--trace-dir") {
+            args.trace_dir = value("--trace-dir");
         } else if (flag == "--threads") {
             args.threads = static_cast<unsigned>(
                 parseU64("--threads", value("--threads")));
@@ -264,6 +270,7 @@ main(int argc, char **argv)
     opts.verbose = false;
     opts.store = store.get();
     opts.progress_path = args.progress_path;
+    opts.trace_dir = args.trace_dir;
     opts.heartbeat_timeout = args.heartbeat_timeout;
     opts.max_worker_retries = args.worker_retries;
     opts.quarantine_strikes = args.quarantine_strikes;

@@ -46,6 +46,7 @@
 #include "core/task_plan.hh"
 #include "sim/fingerprint.hh"
 #include "trace/spec_suite.hh"
+#include "trace/trace_arena.hh"
 
 using namespace microlib;
 
@@ -71,6 +72,8 @@ struct SweepArgs
     std::string progress_path;
     std::string report_path; // "-" = stdout
     std::size_t trace_budget_mb = 0;
+    std::string trace_dir;      // persistent trace arena directory
+    bool prewarm_traces = false; // materialize arena, skip simulation
     bool use_process_backend = false;
     std::size_t process_shards = 2;
     double heartbeat_timeout = 0.0; // seconds; 0 = stall detection off
@@ -125,6 +128,10 @@ usage(const char *argv0)
         "  --threads N         engine worker threads (default:\n"
         "                      MICROLIB_THREADS or hardware)\n"
         "  --trace-budget-mb N trace-cache byte budget\n"
+        "  --trace-dir DIR     persistent trace arena: windows are\n"
+        "                      materialized once into DIR and mmap'd\n"
+        "                      by every later run, worker and shard\n"
+        "                      (default: MICROLIB_TRACE_DIR)\n"
         "  --progress PATH     JSONL progress stream (per shard:\n"
         "                      PATH.shard<i>)\n"
         "  --verbose           per-run progress lines\n"
@@ -132,6 +139,10 @@ usage(const char *argv0)
         "Modes:\n"
         "  --plan              print the fingerprinted task list and\n"
         "                      exit (no simulation)\n"
+        "  --prewarm-traces    materialize every trace window of the\n"
+        "                      plan into the arena (--trace-dir) and\n"
+        "                      exit without simulating — run once so\n"
+        "                      a later fleet of shards starts warm\n"
         "  --print-spec        print the canonical spec text (stdout)\n"
         "                      and its hash (stderr), then exit\n"
         "  --merge STORE...    merge the given store files into\n"
@@ -355,6 +366,10 @@ main(int argc, char **argv)
         } else if (flag == "--trace-budget-mb") {
             args.trace_budget_mb = static_cast<std::size_t>(parseU64(
                 "--trace-budget-mb", value("--trace-budget-mb")));
+        } else if (flag == "--trace-dir") {
+            args.trace_dir = value("--trace-dir");
+        } else if (flag == "--prewarm-traces") {
+            args.prewarm_traces = true;
         } else if (flag == "--backend") {
             const std::string v = value("--backend");
             if (v == "process") {
@@ -468,6 +483,7 @@ main(int argc, char **argv)
     opts.shard = args.shard;
     opts.progress_path = args.progress_path;
     opts.trace_budget_bytes = args.trace_budget_mb * 1024 * 1024;
+    opts.trace_dir = args.trace_dir;
     opts.heartbeat_timeout = args.heartbeat_timeout;
     opts.max_worker_retries = args.worker_retries;
     opts.quarantine_strikes = args.quarantine_strikes;
@@ -484,6 +500,55 @@ main(int argc, char **argv)
     }
 
     ExperimentEngine engine(opts);
+
+    if (args.prewarm_traces) {
+        // Materialize every unique trace window of the plan into the
+        // arena and stop: one generation pass a later fleet of
+        // shards, hosts or reruns starts warm from (zero src=gen).
+        const auto arena = engine.cache().arena();
+        if (!arena) {
+            std::fprintf(stderr, "--prewarm-traces needs --trace-dir "
+                                 "(or MICROLIB_TRACE_DIR)\n");
+            return 2;
+        }
+        // One representative task per trace slot (slots deduplicate
+        // benchmark x window across mechanisms and variants).
+        std::vector<std::size_t> rep(plan.traceSlotCount(),
+                                     plan.size());
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            const std::size_t slot = plan.traceSlot(i);
+            if (rep[slot] == plan.size())
+                rep[slot] = i;
+        }
+        std::size_t generated = 0, present = 0;
+        for (std::size_t slot = 0; slot < rep.size(); ++slot) {
+            const PlanTask &t = plan.task(rep[slot]);
+            const std::string &key = plan.slotKey(slot);
+            TraceCache::Future fut;
+            if (engine.cache().claim(key, fut) !=
+                TraceCache::Claim::Owner)
+                continue; // duplicate key within this process
+            TraceOrigin origin = TraceOrigin::Generated;
+            try {
+                ExperimentEngine::materializeInto(
+                    engine.cache(), key, plan.benchmarks()[t.b],
+                    plan.config(t.v), &origin);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "prewarm failed: %s\n",
+                             e.what());
+                return 1;
+            }
+            ++(origin == TraceOrigin::Mapped ? present : generated);
+            // Release immediately: prewarm only needs the file on
+            // disk, not a resident copy of every window at once.
+            engine.cache().evict(key);
+        }
+        std::printf("prewarm %s: %zu window(s) generated, %zu "
+                    "already present\n",
+                    arena->dir().c_str(), generated, present);
+        return 0;
+    }
+
     SweepResult res;
     try {
         res = engine.runPlan(plan);

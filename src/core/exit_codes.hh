@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Process exit codes shared by every MicroLib CLI tool.
+ *
+ * A sweep that runs to completion can still carry bad news — cells
+ * quarantined after repeated worker faults — and a service deployment
+ * adds a failure class that has nothing to do with the experiment at
+ * all (daemon unreachable, worker schema skew, socket torn down).
+ * Callers scripting the tools (CI, cluster schedulers) need to tell
+ * these apart without parsing stderr, so the tools agree on one code
+ * map and microlib_sweepd reports the same codes in job status:
+ *
+ *   - exit_ok:             the run completed and every cell is real.
+ *   - exit_failure:        the experiment itself is unusable (bad
+ *                          benchmark, unloadable trace, fatal()).
+ *   - exit_usage:          the command line was malformed.
+ *   - exit_quarantined:    the sweep completed but one or more cells
+ *                          were quarantined (FAULT sentinels in the
+ *                          report); rerunning may or may not help.
+ *   - exit_infrastructure: the sweep could not complete for reasons
+ *                          outside the experiment — service or worker
+ *                          infrastructure (connection refused/lost,
+ *                          schema-tuple mismatch, supervisor give-up
+ *                          with stores kept for resume). Rerunning
+ *                          against healthy infrastructure should
+ *                          succeed without recomputation.
+ *
+ * Backends signal the last class by throwing InfrastructureError;
+ * tool mains translate it to exit_infrastructure instead of the
+ * generic failure path.
+ */
+
+#ifndef MICROLIB_CORE_EXIT_CODES_HH
+#define MICROLIB_CORE_EXIT_CODES_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace microlib
+{
+
+constexpr int exit_ok = 0;
+constexpr int exit_failure = 1;
+constexpr int exit_usage = 2;
+constexpr int exit_quarantined = 3;
+constexpr int exit_infrastructure = 4;
+
+/**
+ * The run could not complete for reasons outside the experiment:
+ * service/worker infrastructure failed, not the simulation. Partial
+ * results are preserved (result stores are append-only), so a retry
+ * resumes rather than recomputes.
+ */
+class InfrastructureError : public std::runtime_error
+{
+  public:
+    explicit InfrastructureError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_EXIT_CODES_HH

@@ -1,0 +1,107 @@
+#include "core/lease.hh"
+
+namespace microlib
+{
+
+LeaseQueue::LeaseQueue(const std::vector<std::size_t> &pending)
+{
+    reset(pending);
+}
+
+void
+LeaseQueue::reset(const std::vector<std::size_t> &pending)
+{
+    _pending.clear();
+    _leased.clear();
+    _quarantined.clear();
+    _pending.insert(pending.begin(), pending.end());
+}
+
+std::vector<std::size_t>
+LeaseQueue::lease(const std::string &owner, std::size_t max)
+{
+    std::vector<std::size_t> out;
+    while (out.size() < max && !_pending.empty()) {
+        const auto it = _pending.begin(); // lowest index: plan order
+        out.push_back(*it);
+        _leased.emplace(*it, owner);
+        _pending.erase(it);
+    }
+    return out;
+}
+
+bool
+LeaseQueue::complete(std::size_t task)
+{
+    return _leased.erase(task) > 0;
+}
+
+std::vector<std::size_t>
+LeaseQueue::release(const std::string &owner)
+{
+    std::vector<std::size_t> requeued;
+    for (auto it = _leased.begin(); it != _leased.end();) {
+        if (it->second == owner) {
+            requeued.push_back(it->first);
+            _pending.insert(it->first);
+            it = _leased.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // _leased iterates in key order, so requeued is already in plan
+    // order.
+    return requeued;
+}
+
+bool
+LeaseQueue::requeue(std::size_t task)
+{
+    if (_leased.erase(task) == 0)
+        return false;
+    _pending.insert(task);
+    return true;
+}
+
+std::size_t
+LeaseQueue::markDone(const std::vector<char> &done)
+{
+    std::size_t dropped = 0;
+    for (auto it = _pending.begin(); it != _pending.end();) {
+        if (*it < done.size() && done[*it]) {
+            it = _pending.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = _leased.begin(); it != _leased.end();) {
+        if (it->first < done.size() && done[it->first]) {
+            it = _leased.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
+}
+
+bool
+LeaseQueue::quarantine(std::size_t task)
+{
+    const bool was_pending = _pending.erase(task) > 0;
+    const bool was_leased = _leased.erase(task) > 0;
+    if (!was_pending && !was_leased)
+        return false;
+    _quarantined.push_back(task);
+    return true;
+}
+
+const std::string *
+LeaseQueue::ownerOf(std::size_t task) const
+{
+    const auto it = _leased.find(task);
+    return it == _leased.end() ? nullptr : &it->second;
+}
+
+} // namespace microlib

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * LeaseQueue: the pull-scheduling view of a TaskPlan's pending tasks.
+ *
+ * Sharding (core/task_plan.hh) partitions a plan statically: shard i
+ * owns index mod N == i, decided before any worker starts. A sweep
+ * *service* cannot pre-partition — workers attach and detach while
+ * the job runs — so microlib_sweepd schedules dynamically instead:
+ * workers pull short *leases* (contiguous-in-plan-order batches of
+ * task indices), execute them, and report back. This class is that
+ * scheduler's entire state, kept deliberately process- and
+ * clock-free (like SweepSupervisor) so every transition is
+ * unit-testable:
+ *
+ *  - pending tasks are held in plan order, and leases are always the
+ *    lowest pending indices — plan order is benchmark-major, so a
+ *    lease's tasks share materialized traces the same way a shard's
+ *    contiguous runs do;
+ *  - a completed task leaves its lease; a dead or stalled owner's
+ *    unfinished tasks are *released* back into pending, in plan
+ *    order, for other workers to pick up (nothing is lost, nothing
+ *    runs twice thanks to result-store dedup);
+ *  - a quarantined task leaves the system entirely — the
+ *    PR-7 strike policy (SweepSupervisor) decides *when*, this queue
+ *    merely enforces the verdict.
+ *
+ * The queue never invents task indices: it is constructed from the
+ * plan's own pendingTasks() output, so daemon, workers and clients
+ * agree on what every index means by the TaskPlan determinism
+ * contract.
+ */
+
+#ifndef MICROLIB_CORE_LEASE_HH
+#define MICROLIB_CORE_LEASE_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace microlib
+{
+
+/** Dynamic lease scheduler over a fixed set of task indices. */
+class LeaseQueue
+{
+  public:
+    LeaseQueue() = default;
+
+    /** Queue exactly @p pending (a TaskPlan::pendingTasks() result);
+     *  any previous state is discarded. */
+    explicit LeaseQueue(const std::vector<std::size_t> &pending);
+
+    void reset(const std::vector<std::size_t> &pending);
+
+    /**
+     * Lease up to @p max of the lowest pending indices to @p owner
+     * (a worker identity; one owner may hold several leases' worth).
+     * Returns the leased indices in plan order — empty when nothing
+     * is pending (tasks may still be leased to others; see done()).
+     */
+    std::vector<std::size_t> lease(const std::string &owner,
+                                   std::size_t max);
+
+    /** Mark @p task finished: it leaves its lease and never
+     *  requeues. False if the task was not leased (already completed,
+     *  requeued to another owner, or never queued) — the caller
+     *  decides whether that is benign (a released task's late
+     *  completion) or a protocol error. */
+    bool complete(std::size_t task);
+
+    /** Return every task @p owner still holds to the pending queue,
+     *  in plan order (the owner died or stalled). Returns the
+     *  requeued indices. */
+    std::vector<std::size_t> release(const std::string &owner);
+
+    /** Return one leased task to the pending queue (its owner
+     *  reported completion without producing its record — a poison
+     *  task surviving its worker). False if @p task was not
+     *  leased. */
+    bool requeue(std::size_t task);
+
+    /**
+     * Drop every task marked in @p done from the queue, pending or
+     * leased — record-wins absorption: after a store merge lands
+     * records, the tasks they complete leave the system no matter
+     * who nominally held them (a task misblamed or doubly leased is
+     * simply done once its record exists). Returns the number
+     * dropped.
+     */
+    std::size_t markDone(const std::vector<char> &done);
+
+    /** Remove @p task from the system entirely — pending or leased —
+     *  executing a quarantine verdict. False if the task was in
+     *  neither (already completed or quarantined). */
+    bool quarantine(std::size_t task);
+
+    /** The owner currently holding @p task, or nullptr. */
+    const std::string *ownerOf(std::size_t task) const;
+
+    std::size_t pendingCount() const { return _pending.size(); }
+    std::size_t leasedCount() const { return _leased.size(); }
+
+    /** All work is accounted for: nothing pending, nothing leased.
+     *  (Completed + quarantined = everything ever queued.) */
+    bool done() const { return _pending.empty() && _leased.empty(); }
+
+    /** Tasks quarantined so far, in verdict order. */
+    const std::vector<std::size_t> &quarantined() const
+    {
+        return _quarantined;
+    }
+
+  private:
+    std::set<std::size_t> _pending;            ///< plan order
+    std::map<std::size_t, std::string> _leased; ///< task -> owner
+    std::vector<std::size_t> _quarantined;
+};
+
+} // namespace microlib
+
+#endif // MICROLIB_CORE_LEASE_HH

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/exit_codes.hh"
 #include "core/progress.hh"
 #include "core/result_store.hh"
 #include "core/scheduler.hh"
@@ -452,9 +453,11 @@ ProcessShardBackend::execute(const TaskPlan &plan,
             waitFor(w.pid, &status, 0);
         }
         // Shard stores are deliberately kept: the next run resumes
-        // exactly the missing tasks of the failed shard(s).
-        throw std::runtime_error("ProcessShardBackend: " + give_up +
-                                 " (shard stores kept for resume)");
+        // exactly the missing tasks of the failed shard(s). This is
+        // an infrastructure failure (exit 4), not an experiment
+        // failure — retrying against a healthy machine resumes.
+        throw InfrastructureError("ProcessShardBackend: " + give_up +
+                                  " (shard stores kept for resume)");
     }
 
     // All workers succeeded: merge shard stores by concatenation

@@ -1,5 +1,8 @@
 #include "core/progress.hh"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 
@@ -94,13 +97,45 @@ ProgressWriter::ProgressWriter(const std::string &path)
              "; progress reporting disabled");
 }
 
+ProgressWriter::ProgressWriter(int fd) : _fd(fd)
+{
+}
+
 void
 ProgressWriter::write(const ProgressEvent &event)
+{
+    writeLine(event.str());
+}
+
+void
+ProgressWriter::writeLine(const std::string &line)
 {
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(_mu);
-    _out << event.str() << '\n';
+    if (_fd >= 0) {
+        // One buffered line per write() so a reader reassembling the
+        // stream sees at worst a torn tail, never interleaved lines
+        // (the engine's workers share this writer across threads).
+        const std::string out = line + '\n';
+        std::size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n =
+                ::write(_fd, out.data() + off, out.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                // Receiver hung up (daemon died): progress becomes
+                // a no-op; the worker's own protocol I/O reports the
+                // loss of the connection.
+                _fd = -1;
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return;
+    }
+    _out << line << '\n';
     _out.flush(); // pollers and tail -f see whole lines only
 }
 

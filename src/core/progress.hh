@@ -75,7 +75,10 @@ class ProgressEvent
 
 /** Append-per-line JSONL progress stream; thread-safe, flushed per
  *  event. A default-constructed writer is disabled and write() is a
- *  no-op, so call sites never branch. */
+ *  no-op, so call sites never branch. Sinks to either a file (the
+ *  classic tail-able stream) or a caller-owned fd (a service worker
+ *  streaming events over its daemon socket — the same lines, the
+ *  same whole-lines-only contract, a different transport). */
 class ProgressWriter
 {
   public:
@@ -85,16 +88,27 @@ class ProgressWriter
      *  are created. */
     explicit ProgressWriter(const std::string &path);
 
+    /** Write lines to @p fd (a connected socket or pipe). The fd is
+     *  borrowed, never closed; a failed write disables the writer
+     *  (the fd's owner learns of the hangup through its own I/O). */
+    explicit ProgressWriter(int fd);
+
     ProgressWriter(const ProgressWriter &) = delete;
     ProgressWriter &operator=(const ProgressWriter &) = delete;
 
-    bool enabled() const { return _out.is_open(); }
+    bool enabled() const { return _out.is_open() || _fd >= 0; }
 
     void write(const ProgressEvent &event);
+
+    /** Append one raw, already-formatted JSONL line (no newline).
+     *  The daemon relays worker progress lines into its own stream
+     *  through this — byte-identical passthrough, no re-encode. */
+    void writeLine(const std::string &line);
 
   private:
     std::mutex _mu;
     std::ofstream _out;
+    int _fd = -1;
 };
 
 } // namespace microlib

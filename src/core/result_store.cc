@@ -337,17 +337,20 @@ ResultStore::parseRecord(const std::string &line, ResultRecord &rec)
     return terminated && !(is >> tok);
 }
 
-ResultStore::ResultStore(const std::string &path)
-    : _path(path), _fsync(fsyncRequested())
+ResultStore::ResultStore(const std::string &path, Mode mode)
+    : _path(path), _mode(mode), _fsync(fsyncRequested())
 {
-    const std::filesystem::path parent =
-        std::filesystem::path(_path).parent_path();
-    if (!parent.empty())
-        std::filesystem::create_directories(parent);
+    if (_mode == Mode::ReadWrite) {
+        const std::filesystem::path parent =
+            std::filesystem::path(_path).parent_path();
+        if (!parent.empty())
+            std::filesystem::create_directories(parent);
+    }
     loadFile();
-    _append = std::fopen(_path.c_str(), "a");
-    if (!_append)
-        fatal("result store: cannot open ", _path, " for append");
+    // The append stream opens lazily (ensureAppend) on the first
+    // put(): a store opened only to be queried — status tools, the
+    // daemon's read-only mode — must not create an empty backing file
+    // or hold a write handle on someone else's live store.
 }
 
 ResultStore::~ResultStore()
@@ -399,10 +402,23 @@ ResultStore::find(const ResultKey &key) const
 }
 
 void
+ResultStore::ensureAppend()
+{
+    if (_mode == Mode::ReadOnly)
+        fatal("result store ", _path, ": write to a read-only store");
+    if (_append || _path.empty())
+        return;
+    _append = std::fopen(_path.c_str(), "a");
+    if (!_append)
+        fatal("result store: cannot open ", _path, " for append");
+}
+
+void
 ResultStore::put(const ResultRecord &rec)
 {
     std::lock_guard<std::mutex> lock(_mu);
-    if (_append) {
+    if (!_path.empty()) {
+        ensureAppend();
         const std::string line = formatRecord(rec) + '\n';
         std::fwrite(line.data(), 1, line.size(), _append);
         std::fflush(_append); // a killed sweep keeps this run
@@ -425,6 +441,8 @@ ResultStore::compact()
     std::lock_guard<std::mutex> lock(_mu);
     if (_path.empty())
         return _records.size(); // memory-only: already one per key
+    if (_mode == Mode::ReadOnly)
+        fatal("result store ", _path, ": compact of a read-only store");
 
     // Sorted key order: the compacted file is a pure function of the
     // record set, so differently-assembled stores with equal records
@@ -451,7 +469,8 @@ ResultStore::compact()
 
     // Swap the compacted file in atomically, then reopen the append
     // stream on it: later put() calls extend the compacted file.
-    std::fclose(_append);
+    if (_append)
+        std::fclose(_append);
     _append = nullptr;
     std::error_code ec;
     std::filesystem::rename(tmp, _path, ec);
@@ -467,6 +486,8 @@ ResultStore::compact()
 std::size_t
 ResultStore::merge(const std::string &input_path)
 {
+    if (_mode == Mode::ReadOnly)
+        fatal("result store ", _path, ": merge into a read-only store");
     // Merging a store into itself would never terminate: put()
     // appends to the backing file while getline() is still reading
     // it, so every record read lands another one ahead of the

@@ -121,14 +121,35 @@ ResultRecord makeRecord(ResultKey key, const RunOutput &out);
 class ResultStore
 {
   public:
+    /**
+     * Access mode of a file-backed store.
+     *
+     *  - ReadWrite: puts append to the backing file. The append
+     *    stream opens lazily on the first put(), so a store opened
+     *    only to be queried never creates or touches its file.
+     *  - ReadOnly: a query-only view — find()/size() work, any
+     *    mutation (put/merge/compact) is fatal(). Safe to open on a
+     *    store another process is actively appending to: this side
+     *    holds no write handle at all.
+     */
+    enum class Mode
+    {
+        ReadWrite,
+        ReadOnly,
+    };
+
     /** In-memory store (tests, throwaway sweeps). */
     ResultStore() = default;
 
-    /** File-backed store: loads existing records from @p path (parent
-     *  directories are created; a missing file is an empty store).
-     *  MICROLIB_STORE_FSYNC=1 in the environment makes every put()
-     *  fsync the backing file, not just flush it. */
-    explicit ResultStore(const std::string &path);
+    /** File-backed store: loads existing records from @p path (a
+     *  missing file is an empty store). In ReadWrite mode parent
+     *  directories are created, but the file itself is only created
+     *  when the first put() appends — opening a store to query it
+     *  leaves the filesystem untouched. MICROLIB_STORE_FSYNC=1 in the
+     *  environment makes every put() fsync the backing file, not just
+     *  flush it. */
+    explicit ResultStore(const std::string &path,
+                         Mode mode = Mode::ReadWrite);
 
     ~ResultStore();
 
@@ -176,6 +197,7 @@ class ResultStore
     std::size_t compact();
 
     const std::string &path() const { return _path; }
+    Mode mode() const { return _mode; }
 
     /** Lines skipped as unreadable (unknown schema, torn write,
      *  checksum mismatch) by this store's loads and merges so far —
@@ -194,8 +216,12 @@ class ResultStore
 
   private:
     void loadFile();
+    /** Open the append stream if not already open (lock held);
+     *  fatal() in ReadOnly mode. */
+    void ensureAppend();
 
     std::string _path;           ///< empty = memory-only
+    Mode _mode = Mode::ReadWrite;
     mutable std::mutex _mu;
     std::FILE *_append = nullptr; ///< append stream (FILE*: fsync needs a fd)
     bool _fsync = false;          ///< MICROLIB_STORE_FSYNC=1

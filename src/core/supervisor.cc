@@ -1,6 +1,7 @@
 #include "core/supervisor.hh"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <fstream>
@@ -90,6 +91,69 @@ ProgressFollower::lastHeartbeatTask(std::size_t &task) const
         return false;
     task = _task;
     return true;
+}
+
+void
+ProgressStreamFollower::feed(const char *data, std::size_t n)
+{
+    _buf.append(data, n);
+    // Surface every completed line; the unterminated tail stays
+    // buffered (it may be half a line — the next chunk finishes it,
+    // or EOF orphans it).
+    std::size_t start = 0;
+    for (;;) {
+        const auto nl = _buf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = _buf.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty())
+            continue;
+        std::size_t task;
+        if (ProgressFollower::parseHeartbeat(line, task)) {
+            _has_task = true;
+            _task = task;
+        }
+        _lines.push_back(std::move(line));
+    }
+    if (start > 0)
+        _buf.erase(0, start);
+}
+
+int
+ProgressStreamFollower::feedFd(int fd)
+{
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0)
+        feed(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+}
+
+std::vector<std::string>
+ProgressStreamFollower::takeLines()
+{
+    std::vector<std::string> out;
+    out.swap(_lines);
+    return out;
+}
+
+bool
+ProgressStreamFollower::lastHeartbeatTask(std::size_t &task) const
+{
+    if (!_has_task)
+        return false;
+    task = _task;
+    return true;
+}
+
+void
+ProgressStreamFollower::reset()
+{
+    _buf.clear();
+    _lines.clear();
+    _has_task = false;
+    _task = 0;
 }
 
 SupervisionVerdict

@@ -105,6 +105,59 @@ class ProgressFollower
     std::size_t _task = 0;
 };
 
+/**
+ * ProgressFollower's stream-transport sibling: the same whole-lines-
+ * only JSONL reassembly, fed from a pipe or socket instead of a file.
+ * A read() from a stream can return any byte split — half a line, a
+ * line and a half — so the follower buffers raw chunks and surfaces
+ * only completed lines, remembering the last heartbeat's task index
+ * exactly like the file follower. The daemon runs one per worker
+ * connection; EOF on the fd (read() == 0 via feedFd) is the worker-
+ * death signal, and whatever sits unterminated in the buffer then is
+ * a torn line: never surfaced, never counted as liveness.
+ */
+class ProgressStreamFollower
+{
+  public:
+    /** Buffer @p n raw bytes; any lines they complete become
+     *  takeLines() output and update the heartbeat blame state. */
+    void feed(const char *data, std::size_t n);
+
+    void feed(const std::string &chunk)
+    {
+        feed(chunk.data(), chunk.size());
+    }
+
+    /** One read() from @p fd into the buffer. Returns read()'s
+     *  result: bytes consumed (> 0), 0 on EOF (worker hung up), or
+     *  -1 with errno (EAGAIN on a drained non-blocking fd). */
+    int feedFd(int fd);
+
+    /** Lines completed since the last call, in arrival order,
+     *  newlines stripped; clears the internal queue. */
+    std::vector<std::string> takeLines();
+
+    /** Whether any completed lines are queued (cheaper than
+     *  takeLines().empty() — no move). */
+    bool hasLines() const { return !_lines.empty(); }
+
+    /** The task index of the last heartbeat event, if any. */
+    bool lastHeartbeatTask(std::size_t &task) const;
+
+    /** Bytes buffered but not yet terminated by a newline — after
+     *  EOF, the torn tail's length. */
+    std::size_t pending() const { return _buf.size(); }
+
+    /** Forget buffered bytes, queued lines and blame state. */
+    void reset();
+
+  private:
+    std::string _buf;
+    std::vector<std::string> _lines;
+    bool _has_task = false;
+    std::size_t _task = 0;
+};
+
 /** How a worker came to need supervision. */
 struct WorkerFailure
 {

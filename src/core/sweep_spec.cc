@@ -465,7 +465,7 @@ SweepSpec::parse(const std::string &text, SweepSpec &out,
 
         if (!saw_header) {
             if (tok.size() != 2 || tok[0] != "sweep-spec" ||
-                tok[1] != "v1")
+                tok[1] != "v" + std::to_string(sweep_hash_version))
                 return lineFail("expected header 'sweep-spec v1'");
             saw_header = true;
             continue;
@@ -548,7 +548,8 @@ SweepSpec::load(const std::string &path, SweepSpec &out,
 std::string
 SweepSpec::canonicalText() const
 {
-    std::string out = "sweep-spec v1\n";
+    std::string out =
+        "sweep-spec v" + std::to_string(sweep_hash_version) + "\n";
     out += "bench";
     for (const auto &b : _benchmarks) {
         out += ' ';

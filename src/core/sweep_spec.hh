@@ -50,6 +50,16 @@ namespace microlib
 {
 
 /**
+ * Version of the sweep-hash algorithm: the `.sweep` canonical text
+ * format ("sweep-spec v<N>" header) whose FNV-1a hash identifies a
+ * sweep across hosts — the dedup key microlib_sweepd keys jobs on.
+ * Bump whenever canonicalText()'s output or the hash function
+ * changes; it is part of the schema tuple (sim/version.hh) the
+ * daemon uses to reject incompatible workers.
+ */
+constexpr int sweep_hash_version = 1;
+
+/**
  * Legal granularity of a parameter's numeric domain — what "the next
  * value" means when a search bisects along the axis
  * (core/cliff_finder.hh).

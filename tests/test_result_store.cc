@@ -425,3 +425,51 @@ TEST(ResultStore, CompactOnMemoryStoreIsANoOp)
     EXPECT_EQ(store.compact(), 1u);
     EXPECT_EQ(store.size(), 1u);
 }
+
+TEST(ResultStore, QueryOpenCreatesNoFile)
+{
+    // A status/result query against a store that does not exist yet
+    // must not conjure an empty file: the append stream opens lazily
+    // on the first put(), never on construction.
+    const std::string path = tmpPath("query_only.store");
+    std::remove(path.c_str());
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_FALSE(store.find(sampleRecord().key).has_value());
+    }
+    EXPECT_FALSE(std::ifstream(path).good())
+        << "query-only open created " << path;
+    {
+        ResultStore store(path);
+        store.put(sampleRecord());
+    }
+    EXPECT_TRUE(std::ifstream(path).good());
+    std::remove(path.c_str());
+}
+
+TEST(ResultStoreDeath, ReadOnlyStoreRefusesEveryWrite)
+{
+    const std::string path = tmpPath("ro.store");
+    const std::string other = tmpPath("ro_other.store");
+    std::remove(path.c_str());
+    std::remove(other.c_str());
+    {
+        ResultStore rw(path);
+        rw.put(sampleRecord());
+        ResultStore src(other);
+        src.put(sampleRecord());
+    }
+    ResultStore ro(path, ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(ro.mode(), ResultStore::Mode::ReadOnly);
+    EXPECT_EQ(ro.size(), 1u); // reads work
+    EXPECT_TRUE(ro.find(sampleRecord().key).has_value());
+    EXPECT_EXIT(ro.put(sampleRecord()),
+                testing::ExitedWithCode(1), "read-only");
+    EXPECT_EXIT(ro.merge(other), testing::ExitedWithCode(1),
+                "read-only");
+    EXPECT_EXIT(ro.compact(), testing::ExitedWithCode(1),
+                "read-only");
+    std::remove(path.c_str());
+    std::remove(other.c_str());
+}

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -548,4 +551,78 @@ TEST(SupervisedSweep, PoisonTaskIsQuarantinedAndSweepCompletes)
     EXPECT_NE(table.find("FAULT"), std::string::npos);
 
     cleanWorkerFiles(path, 2);
+}
+
+TEST(ProgressStreamFollower, SurfacesOnlyCompleteLinesAcrossTornFeeds)
+{
+    ProgressStreamFollower f;
+    // A line split across three arbitrary chunk boundaries — the
+    // byte splits a socket read can produce.
+    f.feed("{\"event\":\"run\",\"be");
+    EXPECT_FALSE(f.hasLines());
+    EXPECT_GT(f.pending(), 0u);
+    f.feed("nch\":\"swim\"}\n{\"event\":\"hea");
+    ASSERT_TRUE(f.hasLines());
+    auto lines = f.takeLines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "{\"event\":\"run\",\"bench\":\"swim\"}");
+    EXPECT_FALSE(f.hasLines());
+
+    // The heartbeat completes mid-stream and updates blame.
+    std::size_t task = 0;
+    EXPECT_FALSE(f.lastHeartbeatTask(task));
+    f.feed("rtbeat\",\"task\":7}\n");
+    lines = f.takeLines();
+    ASSERT_EQ(lines.size(), 1u);
+    ASSERT_TRUE(f.lastHeartbeatTask(task));
+    EXPECT_EQ(task, 7u);
+
+    // Two lines in one chunk arrive in order; the later heartbeat
+    // wins the blame.
+    f.feed("{\"event\":\"heartbeat\",\"task\":9}\n"
+           "{\"event\":\"run\",\"bench\":\"gzip\"}\n");
+    EXPECT_EQ(f.takeLines().size(), 2u);
+    ASSERT_TRUE(f.lastHeartbeatTask(task));
+    EXPECT_EQ(task, 9u);
+
+    f.reset();
+    EXPECT_FALSE(f.lastHeartbeatTask(task));
+    EXPECT_EQ(f.pending(), 0u);
+}
+
+TEST(ProgressStreamFollower, FeedFdReassemblesAPipeStream)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ProgressStreamFollower f;
+
+    // Partial write: no newline yet, so bytes buffer but no line
+    // surfaces.
+    const char *head = "{\"event\":\"heartbeat\",\"ta";
+    ASSERT_EQ(::write(fds[1], head, strlen(head)),
+              static_cast<ssize_t>(strlen(head)));
+    EXPECT_GT(f.feedFd(fds[0]), 0);
+    EXPECT_FALSE(f.hasLines());
+    EXPECT_EQ(f.pending(), strlen(head));
+
+    const char *tail = "sk\":3}\n{\"event\":\"done\"}\n{\"torn";
+    ASSERT_EQ(::write(fds[1], tail, strlen(tail)),
+              static_cast<ssize_t>(strlen(tail)));
+    EXPECT_GT(f.feedFd(fds[0]), 0);
+    const auto lines = f.takeLines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "{\"event\":\"heartbeat\",\"task\":3}");
+    EXPECT_EQ(lines[1], "{\"event\":\"done\"}");
+    std::size_t task = 0;
+    ASSERT_TRUE(f.lastHeartbeatTask(task));
+    EXPECT_EQ(task, 3u);
+
+    // Writer dies mid-line: EOF is reported as 0, and the torn tail
+    // is never surfaced as a line — exactly the file follower's
+    // whole-lines-only contract.
+    ::close(fds[1]);
+    EXPECT_EQ(f.feedFd(fds[0]), 0);
+    EXPECT_FALSE(f.hasLines());
+    EXPECT_EQ(f.pending(), strlen("{\"torn"));
+    ::close(fds[0]);
 }

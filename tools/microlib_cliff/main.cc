@@ -36,6 +36,7 @@
 #include "core/result_store.hh"
 #include "core/scheduler.hh"
 #include "core/sweep_spec.hh"
+#include "sim/version.hh"
 
 using namespace microlib;
 
@@ -104,7 +105,8 @@ usage(const char *argv0)
         "  --trace-dir DIR     persistent trace arena shared across\n"
         "                      probes and with microlib_sweep\n"
         "                      (default: MICROLIB_TRACE_DIR)\n"
-        "  --verbose           log each probe\n",
+        "  --verbose           log each probe\n"
+        "  --version           print version + schema tuple and exit\n",
         argv0);
 }
 
@@ -159,6 +161,10 @@ main(int argc, char **argv)
         };
         if (flag == "--help" || flag == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (flag == "--version") {
+            std::printf("%s\n",
+                        versionString("microlib_cliff").c_str());
             return 0;
         } else if (flag == "--spec") {
             args.spec_path = value("--spec");

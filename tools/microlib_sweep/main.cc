@@ -29,6 +29,12 @@
  * A rerun against an existing store resumes: only missing (benchmark,
  * mechanism, variant) tasks execute (a killed shard picks up exactly
  * where it died). See docs/SHARDING.md for the full walkthrough.
+ *
+ * The same binary is also the client and the worker of the sweep
+ * service (docs/SWEEP_SERVICE.md): `--backend service --service ADDR`
+ * submits the sweep to a microlib_sweepd daemon and fetches the
+ * deduplicated results; `--worker ADDR` turns the process into a
+ * pull-based worker draining that daemon's queue.
  */
 
 #include <cstdio>
@@ -38,13 +44,17 @@
 #include <string>
 #include <vector>
 
+#include "core/exit_codes.hh"
 #include "core/process_shard_backend.hh"
 #include "core/registry.hh"
 #include "core/result_store.hh"
 #include "core/scheduler.hh"
+#include "core/service_backend.hh"
 #include "core/sweep_spec.hh"
 #include "core/task_plan.hh"
+#include "service/worker.hh"
 #include "sim/fingerprint.hh"
+#include "sim/version.hh"
 #include "trace/spec_suite.hh"
 #include "trace/trace_arena.hh"
 
@@ -75,6 +85,10 @@ struct SweepArgs
     std::string trace_dir;      // persistent trace arena directory
     bool prewarm_traces = false; // materialize arena, skip simulation
     bool use_process_backend = false;
+    bool use_service_backend = false;
+    std::string service_addr;  // --service ADDR (daemon address)
+    std::string worker_addr;   // --worker ADDR: be a pull worker
+    std::string worker_name;   // --name NAME (worker display name)
     std::size_t process_shards = 2;
     double heartbeat_timeout = 0.0; // seconds; 0 = stall detection off
     std::size_t worker_retries = 2;
@@ -111,7 +125,13 @@ usage(const char *argv0)
         "  --store PATH        append-only result store (resume +\n"
         "                      shard hand-off)\n"
         "  --shard I/N         run only tasks with index %% N == I\n"
-        "  --backend process   fork shard workers in this invocation\n"
+        "  --backend process|service\n"
+        "                      process: fork shard workers in this\n"
+        "                      invocation; service: submit the sweep\n"
+        "                      to a microlib_sweepd daemon (--service)\n"
+        "                      and fetch the deduplicated results\n"
+        "  --service ADDR      sweep daemon address (unix:/path or\n"
+        "                      host:port); implies --backend service\n"
         "  --shards N          worker count for --backend process\n"
         "                      (default 2)\n"
         "  --heartbeat-timeout SEC\n"
@@ -137,6 +157,15 @@ usage(const char *argv0)
         "  --verbose           per-run progress lines\n"
         "\n"
         "Modes:\n"
+        "  --worker ADDR       be a pull-based worker for the sweep\n"
+        "                      daemon at ADDR: lease tasks, execute\n"
+        "                      them, append to --store (own file!),\n"
+        "                      until the daemon shuts down; honors\n"
+        "                      --threads/--trace-dir/--trace-budget-mb\n"
+        "                      /--verbose; --name sets the display\n"
+        "                      name (default host:pid)\n"
+        "  --name NAME         worker display name for --worker\n"
+        "  --version           print version + schema tuple and exit\n"
         "  --plan              print the fingerprinted task list and\n"
         "                      exit (no simulation)\n"
         "  --prewarm-traces    materialize every trace window of the\n"
@@ -151,7 +180,11 @@ usage(const char *argv0)
         "                      (after --merge, before the run)\n"
         "  --report [PATH]     write the IPC matrices (+ sensitivity\n"
         "                      table for multi-variant sweeps) to\n"
-        "                      PATH (stdout if omitted or '-')\n",
+        "                      PATH (stdout if omitted or '-')\n"
+        "\n"
+        "Exit status: 0 clean, 1 sweep failed, 2 usage error,\n"
+        "3 completed with quarantined task(s), 4 infrastructure\n"
+        "failure (daemon unreachable / died; retry is safe)\n",
         argv0);
 }
 
@@ -309,7 +342,18 @@ main(int argc, char **argv)
         };
         if (flag == "--help" || flag == "-h") {
             usage(argv[0]);
-            return 0;
+            return exit_ok;
+        } else if (flag == "--version") {
+            std::printf("%s\n",
+                        versionString("microlib_sweep").c_str());
+            return exit_ok;
+        } else if (flag == "--worker") {
+            args.worker_addr = value("--worker");
+        } else if (flag == "--service") {
+            args.service_addr = value("--service");
+            args.use_service_backend = true;
+        } else if (flag == "--name") {
+            args.worker_name = value("--name");
         } else if (flag == "--spec") {
             args.spec_path = value("--spec");
         } else if (flag == "--bench") {
@@ -374,10 +418,12 @@ main(int argc, char **argv)
             const std::string v = value("--backend");
             if (v == "process") {
                 args.use_process_backend = true;
+            } else if (v == "service") {
+                args.use_service_backend = true;
             } else if (v != "thread") {
-                std::fprintf(stderr,
-                             "--backend wants 'thread' or 'process'\n");
-                return 2;
+                std::fprintf(stderr, "--backend wants 'thread', "
+                                     "'process' or 'service'\n");
+                return exit_usage;
             }
         } else if (flag == "--shards") {
             args.process_shards = static_cast<std::size_t>(
@@ -426,6 +472,32 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (!args.worker_addr.empty()) {
+        // Worker mode: no spec of our own — the daemon hands us
+        // canonical spec text with every lease.
+        WorkerOptions wopts;
+        wopts.service = args.worker_addr;
+        wopts.store_path = args.store_path;
+        wopts.name = args.worker_name;
+        wopts.threads = args.threads;
+        wopts.verbose = args.verbose;
+        wopts.trace_dir = args.trace_dir;
+        wopts.trace_budget_bytes =
+            args.trace_budget_mb * 1024 * 1024;
+        return runWorkerLoop(wopts);
+    }
+
+    if (args.use_service_backend && args.service_addr.empty()) {
+        std::fprintf(stderr, "--backend service needs --service "
+                             "ADDR\n");
+        return exit_usage;
+    }
+    if (args.use_service_backend && args.use_process_backend) {
+        std::fprintf(stderr,
+                     "--backend process and service conflict\n");
+        return exit_usage;
     }
 
     const SweepSpec spec = buildSpec(args);
@@ -490,12 +562,18 @@ main(int argc, char **argv)
 
     ProcessShardBackend process_backend(
         ProcessShardOptions{args.process_shards, args.threads, false});
+    ServiceBackend service_backend(args.service_addr);
     if (args.use_process_backend) {
         opts.backend = &process_backend;
         // The parent only forks, waits and merges: a worker pool
         // would sit idle, and fork() from a single-threaded parent
         // sidesteps the multithreaded-fork hazards entirely.
         // --threads applies to each shard worker instead.
+        opts.threads = 1;
+    } else if (args.use_service_backend) {
+        opts.backend = &service_backend;
+        // Simulation happens on the daemon's workers; this process
+        // only submits, polls and fetches.
         opts.threads = 1;
     }
 
@@ -552,12 +630,20 @@ main(int argc, char **argv)
     SweepResult res;
     try {
         res = engine.runPlan(plan);
+    } catch (const InfrastructureError &e) {
+        // The machinery failed, not the experiment: daemon
+        // unreachable, worker retry budget spent. Everything
+        // finished so far is in a store; retrying against healthy
+        // infrastructure resumes.
+        std::fprintf(stderr, "sweep failed (infrastructure): %s\n",
+                     e.what());
+        return exit_infrastructure;
     } catch (const std::exception &e) {
         // A sweep the supervisor gave up on (retry budget spent, or
         // supervision disabled); the store keeps every finished run
         // for the next attempt's resume.
         std::fprintf(stderr, "sweep failed: %s\n", e.what());
-        return 1;
+        return exit_failure;
     }
     const RunCounters counts = engine.lastRun();
     std::printf("sweep %s: %zu task(s) over %zu variant(s): executed "
@@ -597,6 +683,6 @@ main(int argc, char **argv)
     }
     // Distinct status for a sweep that completed only by quarantining
     // poison tasks: scripted callers must not mistake a FAULT-marked
-    // report for a clean one (0 = clean, 1 = failed, 2 = usage).
-    return counts.quarantined.empty() ? 0 : 3;
+    // report for a clean one (see core/exit_codes.hh).
+    return counts.quarantined.empty() ? exit_ok : exit_quarantined;
 }
